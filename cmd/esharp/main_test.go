@@ -1,0 +1,46 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/domains"
+)
+
+func TestScaleConfig(t *testing.T) {
+	for _, scale := range []string{"tiny", "small", "default"} {
+		cfg := scaleConfig(scale)
+		if cfg.Log.Events <= 0 || cfg.MinClicks <= 0 {
+			t.Errorf("scale %q produced unusable config", scale)
+		}
+	}
+}
+
+// TestBuildQuerySaveLoad exercises the same path as `esharp build -out`:
+// build a pipeline, persist the collection, reload it and serve a query
+// from the reloaded store.
+func TestBuildQuerySaveLoad(t *testing.T) {
+	cfg := core.TinyPipelineConfig()
+	cfg.Log.Events = 20_000
+	p, err := core.BuildPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "domains.bin")
+	if _, err := p.Collection.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := domains.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.NewDetector(loaded, p.Corpus, cfg.Online)
+	results, trace := det.Search("49ers")
+	if len(results) == 0 {
+		t.Fatal("no results from reloaded collection")
+	}
+	if len(trace.Expansion) == 0 {
+		t.Fatal("no expansion from reloaded collection")
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestConfigForScales(t *testing.T) {
+	for _, scale := range []string{"tiny", "small", "default"} {
+		cfg, sizes := configFor(scale)
+		if cfg.Log.Events <= 0 {
+			t.Errorf("scale %q: no events", scale)
+		}
+		if sizes.Top <= 0 || sizes.PerCategory <= 0 {
+			t.Errorf("scale %q: bad set sizes", scale)
+		}
+	}
+	tiny, _ := configFor("tiny")
+	def, _ := configFor("default")
+	if tiny.Log.Events >= def.Log.Events {
+		t.Error("tiny scale not smaller than default")
+	}
+}
+
+func TestConfigForUnknownFallsBack(t *testing.T) {
+	cfg, _ := configFor("bogus")
+	small, _ := configFor("small")
+	if cfg.Log.Events != small.Log.Events {
+		t.Error("unknown scale should behave like small")
+	}
+}

@@ -1,0 +1,59 @@
+// Health: tuning the precision/recall trade-off. The paper's Figure 9
+// sweeps the minimum z-score threshold; this example does the same for
+// health queries ("diabetes", "asthma", ...) and prints how the result
+// count and ground-truth precision move as the threshold rises.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	cfg := core.DefaultPipelineConfig()
+	cfg.Log.Events = 400_000
+	cfg.MinClicks = 10
+	base, err := core.BuildPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{"diabetes", "asthma", "scoliosis", "bmi"}
+	fmt.Println("threshold sweep over health queries (e# detector):")
+	fmt.Printf("%-8s %-12s %-12s %s\n", "min z", "avg experts", "precision", "note")
+	for _, z := range []float64{0, 0.5, 1.0, 1.5, 2.0, 2.5} {
+		online := cfg.Online
+		online.Expertise.MinZScore = z
+		det := core.NewDetector(base.Collection, base.Corpus, online)
+
+		var total, relevant int
+		for _, q := range queries {
+			topic, ok := base.World.KeywordOwner(q)
+			if !ok {
+				continue
+			}
+			results, _ := det.Search(q)
+			total += len(results)
+			for _, e := range results {
+				if base.World.IsRelevantExpert(e.User, topic) {
+					relevant++
+				}
+			}
+		}
+		avg := float64(total) / float64(len(queries))
+		prec := 0.0
+		if total > 0 {
+			prec = float64(relevant) / float64(total)
+		}
+		note := ""
+		switch {
+		case z == 0:
+			note = "permissive: maximum recall"
+		case avg < 1:
+			note = "strict: only the strongest experts survive"
+		}
+		fmt.Printf("%-8.1f %-12.2f %-12.2f %s\n", z, avg, prec, note)
+	}
+}

@@ -1,0 +1,43 @@
+// Quickstart: the smallest end-to-end e# run. It builds a miniature
+// synthetic world, mines expertise domains from its click log, and asks
+// one question — who are the experts on the 49ers? — with and without
+// query expansion.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// 1. Build everything from one config: world, click log, similarity
+	//    graph, domain collection, tweet corpus, online detector.
+	pipeline, err := core.BuildPipeline(core.TinyPipelineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline stage ready: %d domains mined from %d queries\n\n",
+		pipeline.Collection.NumDomains(), pipeline.Log.NumQueries())
+
+	// 2. Baseline: the Pal & Counts detector on the literal query.
+	query := "49ers"
+	baseline := pipeline.Detector.SearchBaseline(query)
+	fmt.Printf("baseline found %d experts for %q\n", len(baseline), query)
+
+	// 3. e#: expansion through the domain collection, then one ranking
+	//    pass over the unioned matches.
+	results, trace := pipeline.Detector.Search(query)
+	fmt.Printf("e# expanded to %v\n", trace.Expansion)
+	fmt.Printf("e# found %d experts over %d matched posts:\n",
+		len(results), trace.MatchedTweets)
+	for i, e := range results {
+		if i == 5 {
+			break
+		}
+		u := pipeline.World.User(e.User)
+		fmt.Printf("  %d. @%s (z=%+.2f, %d followers) — %s\n",
+			i+1, u.ScreenName, e.Score, u.Followers, u.Description)
+	}
+}

@@ -1,0 +1,45 @@
+// Sports: the paper's running example. Reproduces Figure 7 (the
+// communities around "49ers" and its three closest neighbors) and the
+// Table 2 comparison of baseline vs e# experts, including the
+// tweet-rare query "49ers schedule" where expansion makes the
+// difference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+)
+
+func main() {
+	cfg := core.DefaultPipelineConfig()
+	cfg.Log.Events = 400_000 // enough for stable communities, quick to run
+	cfg.MinClicks = 10
+	pipeline, err := core.BuildPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 7: the 49ers community and its neighborhood.
+	rep, err := eval.RunFigure7(pipeline.Detector, "49ers", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(eval.RenderFigure7(rep))
+	fmt.Println()
+
+	// Table 2: who the two algorithms surface for "49ers".
+	fmt.Print(eval.RenderExampleTable("49ers",
+		eval.RunExampleTable(pipeline.Detector, pipeline.World, "49ers", 3)))
+	fmt.Println()
+
+	// The recall story: a keyword people search but rarely tweet.
+	for _, q := range []string{"49ers schedule", "vernon davis", "west coast football"} {
+		base := pipeline.Detector.SearchBaseline(q)
+		esharp, trace := pipeline.Detector.Search(q)
+		fmt.Printf("%-22q baseline=%2d experts | e#=%2d experts (via %d expansion terms)\n",
+			q, len(base), len(esharp), len(trace.Expansion))
+	}
+}

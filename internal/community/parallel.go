@@ -1,0 +1,180 @@
+package community
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simgraph"
+)
+
+// DetectParallel runs the paper's three-step parallel algorithm directly
+// in memory. Each outer iteration:
+//
+//  1. Neighborhood creation — every pair of connected communities with
+//     positive modularity gain (ΔMod > 0) is a neighbor pair. The pair
+//     units are accumulated from the vertex-level graph in parallel
+//     partitions.
+//  2. Neighborhood separation — every community keeps only its closest
+//     neighborhood (maximal metric; ties break toward the smaller
+//     community id so the run is deterministic).
+//  3. Aggregation — every community adopts the label of its chosen
+//     neighborhood owner; the two members of a mutual choice merge under
+//     the smaller id. This is a depth-1 "star" contraction of the choice
+//     forest: because gains are symmetric and ties break toward smaller
+//     ids, best-choice cycles longer than two are impossible, so every
+//     iteration strictly reduces the community count until no
+//     positive-gain pair remains (the gradual convergence of Figure 5).
+//
+// The loop stops when no community has a positive-gain neighbor, or
+// after opt.MaxIterations.
+func DetectParallel(g *simgraph.IntGraph, opt Options) *Result {
+	opt = opt.normalized()
+	n := g.NumVertices()
+	labels := make([]int32, n)
+	for v := range labels {
+		labels[v] = int32(v)
+	}
+	mG := g.TotalUnits()
+	vdeg := vertexDegrees(g)
+
+	res := &Result{}
+	res.Iterations = append(res.Iterations, IterStats{
+		Iteration:   0,
+		Communities: n,
+		Modularity:  Modularity(g, labels),
+	})
+	if mG == 0 || n == 0 {
+		res.Labels, res.NumCommunities = canonicalize(labels)
+		res.Modularity = Modularity(g, labels)
+		return res
+	}
+
+	prevCount := n
+	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		start := time.Now()
+
+		// Community degree sums.
+		deg := map[int32]int64{}
+		for v := 0; v < n; v++ {
+			deg[labels[v]] += vdeg[v]
+		}
+
+		// Step 1: inter-community units, accumulated in parallel vertex
+		// partitions and merged.
+		pairs := accumulatePairs(g, labels, opt.Workers)
+
+		// Step 2: best neighborhood per community.
+		type choice struct {
+			partner int32
+			metric  float64
+		}
+		best := map[int32]choice{}
+		consider := func(c, partner int32, metric float64) {
+			cur, ok := best[c]
+			if !ok || metric > cur.metric || (metric == cur.metric && partner < cur.partner) {
+				best[c] = choice{partner: partner, metric: metric}
+			}
+		}
+		for key, units := range pairs {
+			c1, c2 := unpackPair(key)
+			gain := DeltaMod(units, deg[c1], deg[c2], mG)
+			if gain <= 0 {
+				continue
+			}
+			metric := gain
+			if opt.Metric == MetricEdgeWeight {
+				metric = float64(units)
+			}
+			consider(c1, c2, metric)
+			consider(c2, c1, metric)
+		}
+		if len(best) == 0 {
+			break
+		}
+
+		// Step 3: star aggregation of the choice forest.
+		newLabel := make(map[int32]int32, len(best))
+		for c, ch := range best {
+			l := ch.partner
+			if back, ok := best[l]; ok && back.partner == c {
+				// Mutual choice: merge under the smaller id.
+				if l < c {
+					newLabel[c] = l
+				} else {
+					newLabel[c] = c
+				}
+				continue
+			}
+			newLabel[c] = l
+		}
+		for v := 0; v < n; v++ {
+			if nl, ok := newLabel[labels[v]]; ok {
+				labels[v] = nl
+			}
+		}
+
+		count := countDistinct(labels)
+		res.Iterations = append(res.Iterations, IterStats{
+			Iteration:   iter,
+			Communities: count,
+			Modularity:  Modularity(g, labels),
+			Merges:      prevCount - count,
+			Duration:    time.Since(start),
+		})
+		if count == prevCount {
+			break
+		}
+		prevCount = count
+	}
+
+	res.Labels, res.NumCommunities = canonicalize(labels)
+	res.Modularity = Modularity(g, res.Labels)
+	return res
+}
+
+// accumulatePairs sums inter-community edge units over parallel vertex
+// partitions. Each undirected edge is visited once (from its lower
+// endpoint).
+func accumulatePairs(g *simgraph.IntGraph, labels []int32, workers int) map[uint64]int64 {
+	n := g.NumVertices()
+	partials := make([]map[uint64]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := map[uint64]int64{}
+			lo := n * w / workers
+			hi := n * (w + 1) / workers
+			for v := int32(lo); int(v) < hi; v++ {
+				cv := labels[v]
+				for _, nb := range g.Neighbors(v) {
+					if nb.To <= v {
+						continue
+					}
+					cw := labels[nb.To]
+					if cv != cw {
+						local[packPair(cv, cw)] += nb.Units
+					}
+				}
+			}
+			partials[w] = local
+		}(w)
+	}
+	wg.Wait()
+	merged := partials[0]
+	for _, p := range partials[1:] {
+		for k, v := range p {
+			merged[k] += v
+		}
+	}
+	return merged
+}
+
+func countDistinct(labels []int32) int {
+	seen := map[int32]bool{}
+	for _, c := range labels {
+		seen[c] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,351 @@
+// Package core assembles e#, the paper's contribution: a recall-oriented
+// expert-detection pipeline that augments the Pal & Counts baseline with
+// query expansion over a collection of expertise domains mined from a
+// search query log.
+//
+// The offline stage (BuildCollection) extracts the term similarity graph
+// from the click log, clusters it with the parallel modularity algorithm
+// and indexes the resulting domains. The online stage (Detector) matches
+// an incoming query against a domain "exactly and in order, after
+// lower-casing", runs the base expert search once per related term,
+// unions the matched tweets and ranks the pooled candidates once — the
+// two-phase architecture of Figure 1.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/community"
+	"repro/internal/domains"
+	"repro/internal/expertise"
+	"repro/internal/microblog"
+	"repro/internal/querylog"
+	"repro/internal/simgraph"
+	"repro/internal/world"
+)
+
+// OfflineConfig tunes the offline collection build.
+type OfflineConfig struct {
+	// Graph configures similarity-graph construction (Section 4.1).
+	Graph simgraph.Config
+	// Resolution discretizes edge weights into integer units (footnote 1).
+	Resolution int
+	// Community configures the clustering stage (Section 4.2).
+	Community community.Options
+	// UseSQLBackend runs clustering on the relational engine instead of
+	// the direct in-memory implementation. Both produce identical
+	// domains; the SQL path exists because the paper's deployment does.
+	UseSQLBackend bool
+}
+
+// DefaultOfflineConfig returns the offline defaults.
+func DefaultOfflineConfig() OfflineConfig {
+	return OfflineConfig{
+		Graph:      simgraph.DefaultConfig(),
+		Resolution: 20,
+		Community:  community.DefaultOptions(),
+	}
+}
+
+// BuildResult carries the offline artifacts and their statistics.
+type BuildResult struct {
+	Graph      *simgraph.Graph
+	Clustering *community.Result
+	Collection *domains.Collection
+	// GraphStats and ClusterStats are Table 9 rows for the two offline
+	// steps.
+	GraphStats   querylog.Stats
+	ClusterStats querylog.Stats
+}
+
+// BuildCollection runs the offline stage on an aggregated click log.
+func BuildCollection(log *querylog.Log, cfg OfflineConfig) (*BuildResult, error) {
+	if cfg.Resolution <= 0 {
+		cfg.Resolution = 20
+	}
+	start := time.Now()
+	graph := simgraph.Build(log, cfg.Graph)
+	graphStats := querylog.Stats{
+		Stage:    "graph",
+		Workers:  cfg.Graph.Workers,
+		Duration: time.Since(start),
+		Records:  graph.NumEdges(),
+	}
+
+	start = time.Now()
+	ig := graph.Discretize(cfg.Resolution)
+	var res *community.Result
+	var err error
+	if cfg.UseSQLBackend {
+		res, err = community.DetectSQL(ig, cfg.Community)
+		if err != nil {
+			return nil, fmt.Errorf("core: sql clustering: %w", err)
+		}
+	} else {
+		res = community.DetectParallel(ig, cfg.Community)
+	}
+	clusterStats := querylog.Stats{
+		Stage:    "clustering",
+		Workers:  cfg.Community.Workers,
+		Duration: time.Since(start),
+		Records:  res.NumCommunities,
+	}
+
+	return &BuildResult{
+		Graph:        graph,
+		Clustering:   res,
+		Collection:   domains.FromClustering(graph, res),
+		GraphStats:   graphStats,
+		ClusterStats: clusterStats,
+	}, nil
+}
+
+// OnlineConfig tunes the online detector.
+type OnlineConfig struct {
+	// MaxExpansionTerms caps how many related terms augment the query
+	// (most central terms first). Zero means 10.
+	MaxExpansionTerms int
+	// Match selects the domain matching predicate. The default is the
+	// paper's conservative exact match; the relaxed modes are ablations.
+	Match domains.MatchMode
+	// Expertise parameterizes the underlying Pal & Counts ranker.
+	Expertise expertise.Params
+}
+
+// DefaultOnlineConfig returns the online defaults.
+func DefaultOnlineConfig() OnlineConfig {
+	return OnlineConfig{
+		MaxExpansionTerms: 10,
+		Match:             domains.MatchExact,
+		Expertise:         expertise.DefaultParams(),
+	}
+}
+
+// Detector is the online e# engine. It answers both e# queries
+// (Search) and baseline queries (SearchBaseline) so evaluations compare
+// the two on identical state.
+type Detector struct {
+	collection *domains.Collection
+	corpus     *microblog.Corpus
+	base       *expertise.Detector
+	cfg        OnlineConfig
+}
+
+// NewDetector wires the online stage.
+func NewDetector(coll *domains.Collection, corpus *microblog.Corpus, cfg OnlineConfig) *Detector {
+	if cfg.MaxExpansionTerms <= 0 {
+		cfg.MaxExpansionTerms = 10
+	}
+	return &Detector{
+		collection: coll,
+		corpus:     corpus,
+		base:       expertise.New(corpus, cfg.Expertise),
+		cfg:        cfg,
+	}
+}
+
+// Collection returns the domain collection backing expansion.
+func (d *Detector) Collection() *domains.Collection { return d.collection }
+
+// Corpus returns the microblog corpus being searched.
+func (d *Detector) Corpus() *microblog.Corpus { return d.corpus }
+
+// Base returns the underlying baseline detector.
+func (d *Detector) Base() *expertise.Detector { return d.base }
+
+// Expand returns the expansion terms for a query (excluding the query
+// itself). Empty means the query matched no domain or an orphan.
+func (d *Detector) Expand(query string) []string {
+	return d.collection.ExpandMode(query, d.cfg.MaxExpansionTerms, d.cfg.Match)
+}
+
+// SearchTrace reports what the online stage did for one query.
+type SearchTrace struct {
+	Query string
+	// Expansion lists the related terms appended to the query.
+	Expansion []string
+	// MatchedTweets is the size of the unioned matched-tweet set.
+	MatchedTweets int
+	// ExpandDuration and SearchDuration split the online latency into
+	// the Table 9 "Expansion" and "Detection" rows.
+	ExpandDuration time.Duration
+	SearchDuration time.Duration
+}
+
+// Search runs the full e# online stage: expansion, per-term matching,
+// union, single ranking pass.
+func (d *Detector) Search(query string) ([]expertise.Expert, SearchTrace) {
+	trace := SearchTrace{Query: query}
+
+	start := time.Now()
+	trace.Expansion = d.Expand(query)
+	trace.ExpandDuration = time.Since(start)
+
+	start = time.Now()
+	lists := make([][]microblog.TweetID, 0, 1+len(trace.Expansion))
+	lists = append(lists, d.corpus.Match(query))
+	for _, term := range trace.Expansion {
+		lists = append(lists, d.corpus.Match(term))
+	}
+	matched := expertise.UnionTweets(lists...)
+	trace.MatchedTweets = len(matched)
+	results := d.base.Rank(d.base.CandidatesFromTweets(matched))
+	trace.SearchDuration = time.Since(start)
+	return results, trace
+}
+
+// SearchBaseline runs the unexpanded Pal & Counts baseline.
+func (d *Detector) SearchBaseline(query string) []expertise.Expert {
+	return d.base.Search(query)
+}
+
+// PipelineConfig configures an end-to-end build from a synthetic world.
+type PipelineConfig struct {
+	World     world.Config
+	Log       querylog.GenConfig
+	Tweets    microblog.GenConfig
+	Offline   OfflineConfig
+	Online    OnlineConfig
+	MinClicks int
+	// ShardDir, when non-empty, routes the click log through sharded
+	// files on disk (measuring real I/O for Table 9); otherwise the log
+	// is aggregated in memory.
+	ShardDir string
+}
+
+// DefaultPipelineConfig returns the laptop-scale configuration used by
+// cmd/experiments: it reproduces every figure in minutes.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		World:     world.DefaultConfig(),
+		Log:       querylog.DefaultGenConfig(),
+		Tweets:    microblog.DefaultGenConfig(),
+		Offline:   DefaultOfflineConfig(),
+		Online:    DefaultOnlineConfig(),
+		MinClicks: 20,
+	}
+}
+
+// TinyPipelineConfig returns a miniature configuration for tests.
+func TinyPipelineConfig() PipelineConfig {
+	cfg := DefaultPipelineConfig()
+	cfg.World = world.TinyConfig()
+	cfg.Log = querylog.TinyGenConfig()
+	cfg.Tweets = microblog.TinyGenConfig()
+	cfg.MinClicks = 5
+	return cfg
+}
+
+// Pipeline bundles every artifact of an end-to-end build.
+type Pipeline struct {
+	Cfg        PipelineConfig
+	World      *world.World
+	Log        *querylog.Log
+	Graph      *simgraph.Graph
+	Clustering *community.Result
+	Collection *domains.Collection
+	Corpus     *microblog.Corpus
+	Detector   *Detector
+	// Stages collects the Table 9 resource rows in execution order.
+	Stages []querylog.Stats
+}
+
+// BuildPipeline generates the world, click log and corpus, then runs
+// the offline stage and wires the online detector.
+func BuildPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	p := &Pipeline{Cfg: cfg}
+	p.World = world.Build(cfg.World)
+
+	gen := querylog.NewGenerator(p.World, cfg.Log)
+	if cfg.ShardDir != "" {
+		genStats, err := gen.Generate(cfg.ShardDir)
+		if err != nil {
+			return nil, fmt.Errorf("core: generate log: %w", err)
+		}
+		p.Stages = append(p.Stages, genStats)
+		log, aggStats, err := querylog.AggregateShards(cfg.ShardDir, cfg.MinClicks)
+		if err != nil {
+			return nil, fmt.Errorf("core: aggregate log: %w", err)
+		}
+		p.Log = log
+		p.Stages = append(p.Stages, aggStats)
+	} else {
+		start := time.Now()
+		p.Log = querylog.AggregateRecords(gen.GenerateRecords(), cfg.MinClicks)
+		p.Stages = append(p.Stages, querylog.Stats{
+			Stage:    "extraction",
+			Workers:  1,
+			Duration: time.Since(start),
+			Records:  p.Log.NumQueries(),
+		})
+	}
+
+	build, err := BuildCollection(p.Log, cfg.Offline)
+	if err != nil {
+		return nil, err
+	}
+	p.Graph = build.Graph
+	p.Clustering = build.Clustering
+	p.Collection = build.Collection
+	p.Stages = append(p.Stages, build.GraphStats, build.ClusterStats)
+
+	start := time.Now()
+	p.Corpus = microblog.Generate(p.World, cfg.Tweets)
+	p.Stages = append(p.Stages, querylog.Stats{
+		Stage:    "corpus",
+		Workers:  1,
+		Duration: time.Since(start),
+		Records:  p.Corpus.NumTweets(),
+	})
+
+	p.Detector = NewDetector(p.Collection, p.Corpus, cfg.Online)
+	return p, nil
+}
+
+// RefreshConfig controls a weekly refresh of the offline collection.
+type RefreshConfig struct {
+	// Log generates the new period's click events (give it a fresh Seed).
+	Log querylog.GenConfig
+	// Decay scales the previous log's click counts before merging
+	// (1 keeps full history, 0 discards it).
+	Decay float64
+	// MinClicks is the noise filter applied to the merged log.
+	MinClicks int
+}
+
+// Refresh folds a new period of search behaviour into the pipeline —
+// the paper's offline stage "runs weekly on a production cluster". The
+// previous log decays, the new log merges in, and the similarity graph,
+// clustering, domain collection and online detector are rebuilt. The
+// tweet corpus is left untouched: refresh changes what queries expand
+// to, not what was posted.
+func (p *Pipeline) Refresh(cfg RefreshConfig) error {
+	if cfg.Decay < 0 || cfg.Decay > 1 {
+		return fmt.Errorf("core: refresh decay %v outside [0,1]", cfg.Decay)
+	}
+	if cfg.MinClicks <= 0 {
+		cfg.MinClicks = p.Cfg.MinClicks
+	}
+	start := time.Now()
+	gen := querylog.NewGenerator(p.World, cfg.Log)
+	fresh := querylog.AggregateRecords(gen.GenerateRecords(), 1)
+	p.Log = querylog.Merge(p.Log.Scale(cfg.Decay), fresh, cfg.MinClicks)
+	p.Stages = append(p.Stages, querylog.Stats{
+		Stage:    "refresh",
+		Workers:  1,
+		Duration: time.Since(start),
+		Records:  p.Log.NumQueries(),
+	})
+
+	build, err := BuildCollection(p.Log, p.Cfg.Offline)
+	if err != nil {
+		return fmt.Errorf("core: refresh rebuild: %w", err)
+	}
+	p.Graph = build.Graph
+	p.Clustering = build.Clustering
+	p.Collection = build.Collection
+	p.Stages = append(p.Stages, build.GraphStats, build.ClusterStats)
+	p.Detector = NewDetector(p.Collection, p.Corpus, p.Cfg.Online)
+	return nil
+}

@@ -1,0 +1,272 @@
+// Package crowd simulates the paper's crowdsourcing study (Section 6.2):
+// 64 third-party workers judge candidate experts, spammers are filtered
+// by trivial qualification questions, results are interleaved, chunked
+// into sets of at most six, order-randomized against position bias, and
+// every expert is reviewed by three distinct workers whose votes are
+// aggregated by majority.
+//
+// Workers are asked to spot "non-experts" — accounts from which no
+// objective information about the topic can be obtained — exactly the
+// task framing the paper chose because rejecting is easier than
+// validating. Ground truth comes from the generating world; workers err
+// with a rate that shrinks with their knowledge of the topic's category,
+// reproducing the paper's observation that judging expertise requires
+// some expertise.
+package crowd
+
+import (
+	"fmt"
+
+	"repro/internal/world"
+	"repro/internal/xrand"
+)
+
+// Config tunes the simulated study.
+type Config struct {
+	Seed uint64
+	// NumWorkers is the judge pool size (the paper had 64).
+	NumWorkers int
+	// JudgesPerExpert is the number of distinct workers reviewing each
+	// candidate (the paper used 3, aggregated by majority).
+	JudgesPerExpert int
+	// ChunkSize caps how many candidates one worker sees per task (6).
+	ChunkSize int
+	// SpamWorkerRate is the fraction of workers who answer randomly.
+	SpamWorkerRate float64
+	// QualificationCatchRate is the probability a spam worker fails the
+	// trivial preliminary questions and is excluded.
+	QualificationCatchRate float64
+	// BaseErrorRate is a qualified worker's misjudgment probability on
+	// an unfamiliar category.
+	BaseErrorRate float64
+	// KnowledgeDiscount scales the error rate down on the worker's
+	// strongest categories.
+	KnowledgeDiscount float64
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                   21,
+		NumWorkers:             64,
+		JudgesPerExpert:        3,
+		ChunkSize:              6,
+		SpamWorkerRate:         0.12,
+		QualificationCatchRate: 0.9,
+		BaseErrorRate:          0.18,
+		KnowledgeDiscount:      0.7,
+	}
+}
+
+// worker is one simulated judge.
+type worker struct {
+	id        int
+	spammer   bool
+	knowledge [world.NumCategories]float64 // in [0,1]
+}
+
+// errorRate returns the worker's misjudgment probability for a category.
+func (w *worker) errorRate(cfg Config, cat world.Category) float64 {
+	e := cfg.BaseErrorRate * (1 - cfg.KnowledgeDiscount*w.knowledge[cat])
+	if e < 0.01 {
+		e = 0.01
+	}
+	return e
+}
+
+// Study is a reusable judge pool.
+type Study struct {
+	cfg     Config
+	w       *world.World
+	workers []worker
+	rng     *xrand.RNG
+	// stats
+	judgmentsIssued int
+	spammersCaught  int
+}
+
+// NewStudy recruits and qualifies the worker pool.
+func NewStudy(w *world.World, cfg Config) *Study {
+	if cfg.NumWorkers <= 0 {
+		cfg.NumWorkers = 64
+	}
+	if cfg.JudgesPerExpert <= 0 {
+		cfg.JudgesPerExpert = 3
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 6
+	}
+	rng := xrand.New(cfg.Seed)
+	s := &Study{cfg: cfg, w: w, rng: rng}
+	for i := 0; i < cfg.NumWorkers; i++ {
+		wk := worker{id: i, spammer: rng.Bool(cfg.SpamWorkerRate)}
+		for c := range wk.knowledge {
+			wk.knowledge[c] = rng.Float64()
+		}
+		if wk.spammer && rng.Bool(cfg.QualificationCatchRate) {
+			// Failed the trivial preliminary questions: not recruited.
+			s.spammersCaught++
+			continue
+		}
+		s.workers = append(s.workers, wk)
+	}
+	if len(s.workers) == 0 {
+		// Degenerate config: keep one honest worker so judging proceeds.
+		s.workers = append(s.workers, worker{id: 0})
+	}
+	return s
+}
+
+// SpammersCaught reports how many workers the qualification filter
+// excluded.
+func (s *Study) SpammersCaught() int { return s.spammersCaught }
+
+// JudgmentsIssued reports the total number of individual votes cast.
+func (s *Study) JudgmentsIssued() int { return s.judgmentsIssued }
+
+// Judgment is the majority outcome for one candidate.
+type Judgment struct {
+	User world.UserID
+	// Relevant is true unless a majority marked the account non-expert.
+	Relevant bool
+	// Truth is the ground-truth relevance (for calibration analyses;
+	// the paper could not observe this).
+	Truth bool
+	// Votes records each worker's verdict (true = relevant).
+	Votes []bool
+}
+
+// JudgeCandidates runs the full protocol for one query's interleaved
+// result list: chunking, order randomization, three votes per candidate
+// from distinct workers, majority aggregation.
+func (s *Study) JudgeCandidates(topic world.TopicID, users []world.UserID) []Judgment {
+	out := make([]Judgment, len(users))
+	cat := s.w.Topic(topic).Category
+
+	// Randomize presentation order (position-bias control), then chunk.
+	order := s.rng.Perm(len(users))
+	var chunks [][]int
+	for start := 0; start < len(order); start += s.cfg.ChunkSize {
+		end := start + s.cfg.ChunkSize
+		if end > len(order) {
+			end = len(order)
+		}
+		chunks = append(chunks, order[start:end])
+	}
+
+	for _, chunk := range chunks {
+		for _, idx := range chunk {
+			u := users[idx]
+			truth := s.w.IsRelevantExpert(u, topic)
+			j := Judgment{User: u, Truth: truth}
+			picked := s.pickWorkers(s.cfg.JudgesPerExpert)
+			for _, wk := range picked {
+				j.Votes = append(j.Votes, s.vote(wk, truth, cat))
+				s.judgmentsIssued++
+			}
+			yes := 0
+			for _, v := range j.Votes {
+				if v {
+					yes++
+				}
+			}
+			j.Relevant = yes*2 >= len(j.Votes) // ties favour the account
+			out[idx] = j
+		}
+	}
+	return out
+}
+
+// pickWorkers selects k distinct workers uniformly.
+func (s *Study) pickWorkers(k int) []*worker {
+	if k > len(s.workers) {
+		k = len(s.workers)
+	}
+	idx := s.rng.Perm(len(s.workers))[:k]
+	out := make([]*worker, k)
+	for i, id := range idx {
+		out[i] = &s.workers[id]
+	}
+	return out
+}
+
+// vote returns one worker's verdict given the ground truth.
+func (s *Study) vote(wk *worker, truth bool, cat world.Category) bool {
+	if wk.spammer {
+		// Survived qualification but answers with a coin flip.
+		return s.rng.Bool(0.5)
+	}
+	if s.rng.Bool(wk.errorRate(s.cfg, cat)) {
+		return !truth
+	}
+	return truth
+}
+
+// Impurity is the proportion of judged candidates marked non-relevant —
+// the y-axis of Figure 10.
+func Impurity(judgments []Judgment) float64 {
+	if len(judgments) == 0 {
+		return 0
+	}
+	bad := 0
+	for _, j := range judgments {
+		if !j.Relevant {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(judgments))
+}
+
+// TruthImpurity is the ground-truth proportion of non-relevant
+// candidates, available only because the world is synthetic.
+func TruthImpurity(judgments []Judgment) float64 {
+	if len(judgments) == 0 {
+		return 0
+	}
+	bad := 0
+	for _, j := range judgments {
+		if !j.Truth {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(judgments))
+}
+
+// AgreementRate reports how often the majority verdict matches ground
+// truth — a calibration statistic for the simulated crowd.
+func AgreementRate(judgments []Judgment) float64 {
+	if len(judgments) == 0 {
+		return 1
+	}
+	agree := 0
+	for _, j := range judgments {
+		if j.Relevant == j.Truth {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(judgments))
+}
+
+// Interleave merges two ranked lists alternately (a first), skipping
+// duplicates, as the paper interleaves the two algorithms' results
+// before judging.
+func Interleave[T comparable](a, b []T) []T {
+	seen := map[T]bool{}
+	out := make([]T, 0, len(a)+len(b))
+	for i := 0; i < len(a) || i < len(b); i++ {
+		if i < len(a) && !seen[a[i]] {
+			seen[a[i]] = true
+			out = append(out, a[i])
+		}
+		if i < len(b) && !seen[b[i]] {
+			seen[b[i]] = true
+			out = append(out, b[i])
+		}
+	}
+	return out
+}
+
+// String renders a judgment compactly for logs.
+func (j Judgment) String() string {
+	return fmt.Sprintf("user=%d relevant=%v truth=%v votes=%v", j.User, j.Relevant, j.Truth, j.Votes)
+}

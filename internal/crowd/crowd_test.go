@@ -1,0 +1,193 @@
+package crowd
+
+import (
+	"testing"
+
+	"repro/internal/world"
+)
+
+func setup(t testing.TB) (*world.World, *Study) {
+	t.Helper()
+	w := world.Build(world.TinyConfig())
+	return w, NewStudy(w, DefaultConfig())
+}
+
+func TestStudyDeterministic(t *testing.T) {
+	w := world.Build(world.TinyConfig())
+	id, _ := w.KeywordOwner("49ers")
+	users := w.ExpertsOn(id)
+	a := NewStudy(w, DefaultConfig()).JudgeCandidates(id, users)
+	b := NewStudy(w, DefaultConfig()).JudgeCandidates(id, users)
+	for i := range a {
+		if a[i].Relevant != b[i].Relevant {
+			t.Fatalf("judgment %d differs across identical studies", i)
+		}
+	}
+}
+
+func TestEveryCandidateGetsThreeVotes(t *testing.T) {
+	w, s := setup(t)
+	id, _ := w.KeywordOwner("49ers")
+	users := w.ExpertsOn(id)
+	judgments := s.JudgeCandidates(id, users)
+	if len(judgments) != len(users) {
+		t.Fatalf("judged %d of %d candidates", len(judgments), len(users))
+	}
+	for i, j := range judgments {
+		if len(j.Votes) != 3 {
+			t.Errorf("candidate %d got %d votes", i, len(j.Votes))
+		}
+		if j.User != users[i] {
+			t.Errorf("judgment %d misaligned with input order", i)
+		}
+	}
+	if s.JudgmentsIssued() != 3*len(users) {
+		t.Errorf("issued %d judgments, want %d", s.JudgmentsIssued(), 3*len(users))
+	}
+}
+
+func TestExpertsMostlyJudgedRelevant(t *testing.T) {
+	w, s := setup(t)
+	id, _ := w.KeywordOwner("49ers")
+	experts := w.ExpertsOn(id)
+	judgments := s.JudgeCandidates(id, experts)
+	if imp := Impurity(judgments); imp > 0.35 {
+		t.Errorf("impurity %v too high for genuine experts", imp)
+	}
+	if ti := TruthImpurity(judgments); ti != 0 {
+		t.Errorf("ground truth impurity %v for genuine experts", ti)
+	}
+}
+
+func TestNonExpertsMostlyRejected(t *testing.T) {
+	w, s := setup(t)
+	id, _ := w.KeywordOwner("49ers")
+	// Spam and casual users are never relevant.
+	var nonExperts []world.UserID
+	for i := range w.Users {
+		if w.Users[i].Kind == world.SpamUser || w.Users[i].Kind == world.CasualUser {
+			nonExperts = append(nonExperts, w.Users[i].ID)
+		}
+		if len(nonExperts) == 30 {
+			break
+		}
+	}
+	judgments := s.JudgeCandidates(id, nonExperts)
+	if imp := Impurity(judgments); imp < 0.6 {
+		t.Errorf("impurity %v too low for non-experts", imp)
+	}
+	if ti := TruthImpurity(judgments); ti != 1 {
+		t.Errorf("ground truth impurity %v, want 1", ti)
+	}
+}
+
+func TestMajorityBeatsIndividualError(t *testing.T) {
+	w, s := setup(t)
+	id, _ := w.KeywordOwner("49ers")
+	// Large mixed pool: majority voting should agree with ground truth
+	// more often than a single worker's (1 - BaseErrorRate).
+	var pool []world.UserID
+	for i := range w.Users {
+		pool = append(pool, w.Users[i].ID)
+		if len(pool) == 200 {
+			break
+		}
+	}
+	judgments := s.JudgeCandidates(id, pool)
+	if ar := AgreementRate(judgments); ar < 0.8 {
+		t.Errorf("majority agreement %v too low", ar)
+	}
+}
+
+func TestQualificationFiltersSpammers(t *testing.T) {
+	w := world.Build(world.TinyConfig())
+	cfg := DefaultConfig()
+	cfg.NumWorkers = 500
+	cfg.SpamWorkerRate = 0.5
+	cfg.QualificationCatchRate = 0.9
+	s := NewStudy(w, cfg)
+	// Roughly half are spammers; 90% of those are caught.
+	if s.SpammersCaught() < 150 {
+		t.Errorf("only %d spammers caught", s.SpammersCaught())
+	}
+	if len(s.workers) > 400 {
+		t.Errorf("pool kept %d workers of 500 with heavy spam", len(s.workers))
+	}
+}
+
+func TestDegenerateConfigStillJudges(t *testing.T) {
+	w := world.Build(world.TinyConfig())
+	cfg := DefaultConfig()
+	cfg.NumWorkers = 1
+	cfg.SpamWorkerRate = 1.0
+	cfg.QualificationCatchRate = 1.0
+	s := NewStudy(w, cfg)
+	id, _ := w.KeywordOwner("49ers")
+	judgments := s.JudgeCandidates(id, w.ExpertsOn(id))
+	if len(judgments) == 0 {
+		t.Fatal("no judgments from degenerate pool")
+	}
+}
+
+func TestImpurityBounds(t *testing.T) {
+	if Impurity(nil) != 0 {
+		t.Error("empty impurity should be 0")
+	}
+	js := []Judgment{{Relevant: true}, {Relevant: false}, {Relevant: false}, {Relevant: true}}
+	if got := Impurity(js); got != 0.5 {
+		t.Errorf("impurity = %v, want 0.5", got)
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := []int{1, 2, 3}
+	b := []int{4, 2, 5}
+	got := Interleave(a, b)
+	want := []int{1, 4, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("interleave = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleave = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInterleaveUnequalLengths(t *testing.T) {
+	got := Interleave([]string{"a"}, []string{"b", "c", "d"})
+	if len(got) != 4 {
+		t.Fatalf("interleave dropped items: %v", got)
+	}
+}
+
+func TestChunkingCoversEveryone(t *testing.T) {
+	w := world.Build(world.TinyConfig())
+	cfg := DefaultConfig()
+	cfg.ChunkSize = 4
+	s := NewStudy(w, cfg)
+	id, _ := w.KeywordOwner("49ers")
+	var pool []world.UserID
+	for i := 0; i < 23; i++ { // deliberately not a multiple of ChunkSize
+		pool = append(pool, w.Users[i].ID)
+	}
+	judgments := s.JudgeCandidates(id, pool)
+	if len(judgments) != 23 {
+		t.Fatalf("judged %d of 23", len(judgments))
+	}
+	for i, j := range judgments {
+		if len(j.Votes) == 0 {
+			t.Errorf("candidate %d unjudged", i)
+		}
+	}
+}
+
+func BenchmarkJudgeCandidates(b *testing.B) {
+	w, s := setup(b)
+	id, _ := w.KeywordOwner("49ers")
+	users := w.ExpertsOn(id)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.JudgeCandidates(id, users)
+	}
+}

@@ -1,0 +1,539 @@
+// Package domains holds the offline product of the e# pipeline: the
+// collection of expertise domains (term communities), indexed for the
+// exact-match lookup of Section 5 and persisted in a compact binary
+// format. It replaces the paper's SQL Server 2014 store, whose only
+// requirements are millisecond lookups and a ~100 MB footprint.
+package domains
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/community"
+	"repro/internal/simgraph"
+	"repro/internal/textutil"
+)
+
+// Domain is one topic of expertise: a set of related query terms.
+type Domain struct {
+	// ID is the dense domain identifier.
+	ID int32
+	// Terms are the member query strings, sorted by descending weight
+	// (the head term first).
+	Terms []string
+	// Weights mirror Terms: each term's total intra-domain edge weight,
+	// used to order expansion terms by how central they are.
+	Weights []float64
+}
+
+// Head returns the domain's most central term.
+func (d *Domain) Head() string {
+	if len(d.Terms) == 0 {
+		return ""
+	}
+	return d.Terms[0]
+}
+
+// Size returns the number of member terms.
+func (d *Domain) Size() int { return len(d.Terms) }
+
+// Collection is the queryable set of domains.
+type Collection struct {
+	domains []Domain
+	// byTerm maps every normalized member term to its domain.
+	byTerm map[string]int32
+	// proximity[a] lists the closest other domains of a, strongest
+	// first (inter-domain similarity mass) — the data behind Figure 7.
+	proximity [][]DomainLink
+	// tokenIndex supports the relaxed match modes; built lazily.
+	tokenOnce  sync.Once
+	tokenIndex map[string][]tokenPosting
+}
+
+// DomainLink is a weighted reference to a nearby domain.
+type DomainLink struct {
+	ID     int32
+	Weight float64
+}
+
+// FromClustering assembles a Collection from a similarity graph and a
+// community detection result over its discretized form. Orphan
+// communities (single terms) are kept: they still answer exact queries,
+// they just contribute no expansion.
+func FromClustering(g *simgraph.Graph, res *community.Result) *Collection {
+	c := &Collection{
+		domains: make([]Domain, res.NumCommunities),
+		byTerm:  make(map[string]int32),
+	}
+	// Intra-domain term weights: sum of edge weights to co-members.
+	intraWeight := make([]float64, g.NumVertices())
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for _, n := range g.Neighbors(v) {
+			if res.Labels[v] == res.Labels[n.To] {
+				intraWeight[v] += n.Weight
+			}
+		}
+	}
+	for _, members := range res.Members() {
+		if len(members) == 0 {
+			continue
+		}
+		id := res.Labels[members[0]]
+		d := Domain{ID: id}
+		sort.Slice(members, func(i, j int) bool {
+			wi, wj := intraWeight[members[i]], intraWeight[members[j]]
+			if wi != wj {
+				return wi > wj
+			}
+			return members[i] < members[j]
+		})
+		for _, v := range members {
+			term := g.Term(v)
+			d.Terms = append(d.Terms, term)
+			d.Weights = append(d.Weights, intraWeight[v])
+			c.byTerm[term] = id
+		}
+		c.domains[id] = d
+	}
+
+	// Inter-domain proximity: accumulate cross-community edge weight
+	// from both the strong (clustered) edges and the weak proximity
+	// tier — the weak tier is what links a community to its Figure 7
+	// neighbors after clustering separated them.
+	cross := map[uint64]float64{}
+	addCross := func(v, to int32, w float64) {
+		a, b := res.Labels[v], res.Labels[to]
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		cross[uint64(uint32(a))<<32|uint64(uint32(b))] += w
+	}
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for _, n := range g.Neighbors(v) {
+			if n.To > v {
+				addCross(v, n.To, n.Weight)
+			}
+		}
+	}
+	for _, e := range g.WeakEdges() {
+		addCross(e.A, e.B, e.Weight)
+	}
+	c.proximity = make([][]DomainLink, len(c.domains))
+	for k, w := range cross {
+		a, b := int32(k>>32), int32(k&0xffffffff)
+		c.proximity[a] = append(c.proximity[a], DomainLink{ID: b, Weight: w})
+		c.proximity[b] = append(c.proximity[b], DomainLink{ID: a, Weight: w})
+	}
+	for i := range c.proximity {
+		p := c.proximity[i]
+		sort.Slice(p, func(x, y int) bool {
+			if p[x].Weight != p[y].Weight {
+				return p[x].Weight > p[y].Weight
+			}
+			return p[x].ID < p[y].ID
+		})
+	}
+	return c
+}
+
+// NumDomains returns the number of domains.
+func (c *Collection) NumDomains() int { return len(c.domains) }
+
+// Domain returns the domain with the given ID.
+func (c *Collection) Domain(id int32) *Domain { return &c.domains[id] }
+
+// Lookup finds the domain containing the query "exactly and in order,
+// after lower-casing" (Section 5). The second return is false when no
+// domain contains the term.
+func (c *Collection) Lookup(query string) (*Domain, bool) {
+	id, ok := c.byTerm[textutil.Normalize(query)]
+	if !ok {
+		return nil, false
+	}
+	return &c.domains[id], true
+}
+
+// Expand returns up to maxTerms related terms for the query (the other
+// members of its domain, most central first), excluding the query
+// itself. An empty slice means the query matched an orphan or no domain.
+func (c *Collection) Expand(query string, maxTerms int) []string {
+	d, ok := c.Lookup(query)
+	if !ok {
+		return nil
+	}
+	norm := textutil.Normalize(query)
+	out := make([]string, 0, min(maxTerms, len(d.Terms)))
+	for _, t := range d.Terms {
+		if t == norm {
+			continue
+		}
+		out = append(out, t)
+		if len(out) == maxTerms {
+			break
+		}
+	}
+	return out
+}
+
+// Closest returns up to k closest other domains (Figure 7's neighboring
+// communities).
+func (c *Collection) Closest(id int32, k int) []DomainLink {
+	p := c.proximity[id]
+	if len(p) > k {
+		p = p[:k]
+	}
+	out := make([]DomainLink, len(p))
+	copy(out, p)
+	return out
+}
+
+// SizeHistogram buckets domain sizes as in Figure 6.
+func (c *Collection) SizeHistogram() [4]int {
+	var hist [4]int
+	for i := range c.domains {
+		switch n := c.domains[i].Size(); {
+		case n <= 1:
+			hist[0]++
+		case n <= 10:
+			hist[1]++
+		case n <= 50:
+			hist[2]++
+		default:
+			hist[3]++
+		}
+	}
+	return hist
+}
+
+// magic identifies the on-disk format; bump the version on change.
+var magic = [8]byte{'e', '#', 'd', 'o', 'm', 'v', '0', '1'}
+
+// Save writes the collection in a compact varint-delimited binary
+// format and returns the byte count written.
+func (c *Collection) Save(path string) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("domains: create: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := &countingWriter{w: bw}
+	if err := c.encode(cw); err != nil {
+		f.Close()
+		return cw.n, fmt.Errorf("domains: encode: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return cw.n, err
+	}
+	return cw.n, f.Close()
+}
+
+// Load reads a collection written by Save.
+func Load(path string) (*Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("domains: open: %w", err)
+	}
+	defer f.Close()
+	c, err := decode(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("domains: decode %s: %w", path, err)
+	}
+	return c, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func (c *Collection) encode(w io.Writer) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := w.Write(buf[:n])
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, s)
+		return err
+	}
+	if err := writeUvarint(uint64(len(c.domains))); err != nil {
+		return err
+	}
+	for i := range c.domains {
+		d := &c.domains[i]
+		if err := writeUvarint(uint64(len(d.Terms))); err != nil {
+			return err
+		}
+		for j, t := range d.Terms {
+			if err := writeString(t); err != nil {
+				return err
+			}
+			if err := writeUvarint(math.Float64bits(d.Weights[j])); err != nil {
+				return err
+			}
+		}
+		links := c.proximity[i]
+		if err := writeUvarint(uint64(len(links))); err != nil {
+			return err
+		}
+		for _, l := range links {
+			if err := writeUvarint(uint64(uint32(l.ID))); err != nil {
+				return err
+			}
+			if err := writeUvarint(math.Float64bits(l.Weight)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func decode(r io.ByteReader) (*Collection, error) {
+	readByte := func() (byte, error) { return r.ReadByte() }
+	for _, m := range magic {
+		b, err := readByte()
+		if err != nil {
+			return nil, err
+		}
+		if b != m {
+			return nil, fmt.Errorf("bad magic byte %#x", b)
+		}
+	}
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(r) }
+	readString := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("string length %d too large", n)
+		}
+		b := make([]byte, n)
+		for i := range b {
+			c, err := readByte()
+			if err != nil {
+				return "", err
+			}
+			b[i] = c
+		}
+		return string(b), nil
+	}
+	nd, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nd > 1<<28 {
+		return nil, fmt.Errorf("domain count %d too large", nd)
+	}
+	c := &Collection{
+		domains:   make([]Domain, nd),
+		byTerm:    map[string]int32{},
+		proximity: make([][]DomainLink, nd),
+	}
+	for i := range c.domains {
+		nt, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nt > 1<<24 {
+			return nil, fmt.Errorf("term count %d too large", nt)
+		}
+		d := Domain{ID: int32(i)}
+		for j := uint64(0); j < nt; j++ {
+			t, err := readString()
+			if err != nil {
+				return nil, err
+			}
+			wb, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			d.Terms = append(d.Terms, t)
+			d.Weights = append(d.Weights, math.Float64frombits(wb))
+			c.byTerm[t] = int32(i)
+		}
+		nl, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nl > nd {
+			return nil, fmt.Errorf("link count %d too large", nl)
+		}
+		for j := uint64(0); j < nl; j++ {
+			idBits, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			wb, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			c.proximity[i] = append(c.proximity[i], DomainLink{
+				ID:     int32(uint32(idBits)),
+				Weight: math.Float64frombits(wb),
+			})
+		}
+		c.domains[i] = d
+	}
+	return c, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MatchMode selects how an incoming query is matched to a domain.
+// Section 5 describes the production behaviour (MatchExact) as
+// "purposely conservative"; the looser modes are natural extensions
+// benchmarked in the ablation suite.
+type MatchMode int
+
+const (
+	// MatchExact requires the query to equal a domain term ("exactly
+	// and in order, after lower-casing") — the paper's behaviour.
+	MatchExact MatchMode = iota
+	// MatchPhrase accepts a domain term that contains the query as a
+	// contiguous token phrase ("49ers" matches the term "49ers draft").
+	MatchPhrase
+	// MatchAND accepts a domain term containing every query token in
+	// any order.
+	MatchAND
+)
+
+// String names the mode.
+func (m MatchMode) String() string {
+	switch m {
+	case MatchExact:
+		return "exact"
+	case MatchPhrase:
+		return "phrase"
+	case MatchAND:
+		return "and"
+	default:
+		return fmt.Sprintf("matchmode(%d)", int(m))
+	}
+}
+
+// tokenPosting locates a term inside the collection.
+type tokenPosting struct {
+	domain int32
+	term   int32 // index into the domain's Terms
+}
+
+// ensureTokenIndex lazily builds the token -> terms inverted index used
+// by the relaxed match modes. Safe for concurrent use.
+func (c *Collection) ensureTokenIndex() {
+	c.tokenOnce.Do(func() {
+		c.tokenIndex = map[string][]tokenPosting{}
+		for d := range c.domains {
+			for ti, term := range c.domains[d].Terms {
+				seen := map[string]bool{}
+				for _, tok := range textutil.Tokenize(term) {
+					if seen[tok] {
+						continue
+					}
+					seen[tok] = true
+					c.tokenIndex[tok] = append(c.tokenIndex[tok],
+						tokenPosting{domain: int32(d), term: int32(ti)})
+				}
+			}
+		}
+	})
+}
+
+// LookupMode finds the domain for a query under the given match mode.
+// Exact matches always win; under the relaxed modes, ties between
+// several containing terms break toward the term with the highest
+// intra-domain weight (the most central match).
+func (c *Collection) LookupMode(query string, mode MatchMode) (*Domain, bool) {
+	if d, ok := c.Lookup(query); ok {
+		return d, true
+	}
+	if mode == MatchExact {
+		return nil, false
+	}
+	c.ensureTokenIndex()
+	qTokens := textutil.Tokenize(query)
+	if len(qTokens) == 0 {
+		return nil, false
+	}
+	// Candidate terms must contain the rarest query token.
+	rarest := qTokens[0]
+	for _, tok := range qTokens[1:] {
+		if len(c.tokenIndex[tok]) < len(c.tokenIndex[rarest]) {
+			rarest = tok
+		}
+	}
+	var (
+		best       tokenPosting
+		bestWeight = -1.0
+	)
+	for _, p := range c.tokenIndex[rarest] {
+		term := c.domains[p.domain].Terms[p.term]
+		tTokens := textutil.Tokenize(term)
+		switch mode {
+		case MatchPhrase:
+			if !textutil.ContainsPhrase(tTokens, qTokens) {
+				continue
+			}
+		case MatchAND:
+			if !textutil.ContainsAll(tTokens, qTokens) {
+				continue
+			}
+		}
+		w := c.domains[p.domain].Weights[p.term]
+		if w > bestWeight {
+			best, bestWeight = p, w
+		}
+	}
+	if bestWeight < 0 {
+		return nil, false
+	}
+	return &c.domains[best.domain], true
+}
+
+// ExpandMode is Expand under an arbitrary match mode.
+func (c *Collection) ExpandMode(query string, maxTerms int, mode MatchMode) []string {
+	d, ok := c.LookupMode(query, mode)
+	if !ok {
+		return nil
+	}
+	norm := textutil.Normalize(query)
+	out := make([]string, 0, min(maxTerms, len(d.Terms)))
+	for _, t := range d.Terms {
+		if t == norm {
+			continue
+		}
+		out = append(out, t)
+		if len(out) == maxTerms {
+			break
+		}
+	}
+	return out
+}

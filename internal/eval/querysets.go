@@ -1,0 +1,128 @@
+// Package eval is the experiment harness: it constructs the paper's six
+// query sets (Table 1), runs both detectors over them, simulates the
+// crowdsourced judgments, and renders every table and figure of the
+// evaluation section (Tables 1–9, Figures 5–10) as plain text.
+package eval
+
+import (
+	"sort"
+
+	"repro/internal/querylog"
+	"repro/internal/world"
+)
+
+// QuerySet is one evaluation workload: queries plus their ground-truth
+// topics (the alignment the synthetic world gives us for free).
+type QuerySet struct {
+	Name    string
+	Queries []string
+	// Topics aligns with Queries: the owning topic of each query.
+	Topics []world.TopicID
+}
+
+// Size returns the number of queries in the set.
+func (qs *QuerySet) Size() int { return len(qs.Queries) }
+
+// Examples returns up to n example queries for the Table 1 rendering.
+func (qs *QuerySet) Examples(n int) []string {
+	if n > len(qs.Queries) {
+		n = len(qs.Queries)
+	}
+	return qs.Queries[:n]
+}
+
+// SetSizes mirrors Table 1: 100 queries for the four category sets and
+// Wikipedia, 250 for the popularity set.
+type SetSizes struct {
+	PerCategory int
+	Top         int
+}
+
+// DefaultSetSizes returns the paper's sizes.
+func DefaultSetSizes() SetSizes { return SetSizes{PerCategory: 100, Top: 250} }
+
+// BuildQuerySets assembles the six sets from the world and the
+// aggregated click log, ranking candidate queries by their observed
+// click volume ("the most popular search terms ... for each category").
+// Only queries surviving the log's noise filter are eligible, exactly as
+// a production system would sample them.
+func BuildQuerySets(w *world.World, log *querylog.Log, sizes SetSizes) []QuerySet {
+	if sizes.PerCategory <= 0 {
+		sizes.PerCategory = 100
+	}
+	if sizes.Top <= 0 {
+		sizes.Top = 250
+	}
+
+	categoryFor := func(q string) (world.TopicID, world.Category, bool) {
+		id, ok := w.KeywordOwner(q)
+		if !ok {
+			return 0, 0, false
+		}
+		return id, w.Topic(id).Category, true
+	}
+
+	type scored struct {
+		query  string
+		topic  world.TopicID
+		clicks int
+	}
+	byCat := map[world.Category][]scored{}
+	var all []scored
+	for _, q := range log.Queries() {
+		id, cat, ok := categoryFor(q)
+		if !ok {
+			continue // junk query that survived the filter
+		}
+		s := scored{query: q, topic: id, clicks: log.Total(q)}
+		// The paper's category sets are curated lists of clean terms
+		// ("49ers, hernandez, buffalo bills, ..."), so they contain
+		// canonical keywords only; the Top 250 set is the raw log head,
+		// spelling variants, navigational queries and all.
+		if canonicalKeyword(w, id, q) {
+			byCat[cat] = append(byCat[cat], s)
+		}
+		all = append(all, s)
+	}
+	rank := func(xs []scored) {
+		sort.Slice(xs, func(i, j int) bool {
+			if xs[i].clicks != xs[j].clicks {
+				return xs[i].clicks > xs[j].clicks
+			}
+			return xs[i].query < xs[j].query
+		})
+	}
+	take := func(name string, xs []scored, n int) QuerySet {
+		rank(xs)
+		if n > len(xs) {
+			n = len(xs)
+		}
+		qs := QuerySet{Name: name}
+		for _, s := range xs[:n] {
+			qs.Queries = append(qs.Queries, s.query)
+			qs.Topics = append(qs.Topics, s.topic)
+		}
+		return qs
+	}
+
+	sets := []QuerySet{
+		take("sports", byCat[world.Sports], sizes.PerCategory),
+		take("electronics", byCat[world.Electronics], sizes.PerCategory),
+		take("finance", byCat[world.Finance], sizes.PerCategory),
+		take("health", byCat[world.Health], sizes.PerCategory),
+		take("wikipedia", byCat[world.Wikipedia], sizes.PerCategory),
+		take("top 250", all, sizes.Top),
+	}
+	return sets
+}
+
+// canonicalKeyword reports whether q is a canonical (non-variant)
+// keyword of the topic.
+func canonicalKeyword(w *world.World, id world.TopicID, q string) bool {
+	for _, kw := range w.Topic(id).Keywords {
+		if kw.Text == q {
+			return kw.Canonical == kw.Text
+		}
+	}
+	return false
+}

@@ -1,0 +1,366 @@
+// Package microblog synthesizes and indexes the tweet corpus that
+// replaces the paper's Twitter data. Posts are generated from the same
+// world.World as the query log, so search-behaviour semantics and
+// microblog authorship share one latent topic structure.
+//
+// The generator deliberately recreates the recall problem that motivates
+// e#: posts are capped at 140 characters and each topical post uses only
+// one (occasionally two) of its topic's keywords, drawn by the keyword's
+// TweetRate. Keywords that are searched often but tweeted rarely — the
+// "west coast football" case from the paper's introduction — therefore
+// match almost no posts, and a detector restricted to the literal query
+// misses the topic's experts.
+package microblog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/textutil"
+	"repro/internal/world"
+	"repro/internal/xrand"
+)
+
+// TweetID identifies a tweet within a corpus.
+type TweetID int32
+
+// Tweet is one microblog post.
+type Tweet struct {
+	ID     TweetID
+	Author world.UserID
+	// Text is the rendered post, at most 140 runes.
+	Text string
+	// Terms is the tokenized, lower-cased text.
+	Terms []string
+	// Mentions lists the users @-mentioned in the post.
+	Mentions []world.UserID
+	// RetweetCount is how many times the post was retweeted.
+	RetweetCount int
+	// Topic is the latent topic the post is about (-1 for chatter).
+	// It is generator ground truth, invisible to the detectors.
+	Topic world.TopicID
+}
+
+// GenConfig controls corpus generation.
+type GenConfig struct {
+	Seed uint64
+	// TweetsPerExpert is the mean post count of an influence-1 expert.
+	TweetsPerExpert float64
+	// TweetsPerCasual and TweetsPerSpammer are mean post counts.
+	TweetsPerCasual  float64
+	TweetsPerSpammer float64
+	// OffTopicRate is the chance an expert post is generic chatter.
+	OffTopicRate float64
+	// SecondKeywordRate is the chance a topical post carries a second
+	// keyword of the same topic (bounded by the 140-char limit).
+	SecondKeywordRate float64
+	// MentionRate is the chance a topical expert post triggers a fan
+	// post mentioning the expert.
+	MentionRate float64
+	// RetweetBoost scales retweet counts of topical posts.
+	RetweetBoost float64
+}
+
+// DefaultGenConfig returns corpus defaults for the default world.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Seed:              11,
+		TweetsPerExpert:   60,
+		TweetsPerCasual:   10,
+		TweetsPerSpammer:  40,
+		OffTopicRate:      0.2,
+		SecondKeywordRate: 0.2,
+		MentionRate:       0.25,
+		RetweetBoost:      3,
+	}
+}
+
+// TinyGenConfig returns a miniature configuration for unit tests.
+func TinyGenConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.TweetsPerExpert = 40
+	cfg.TweetsPerCasual = 6
+	cfg.TweetsPerSpammer = 20
+	return cfg
+}
+
+// Corpus is the indexed tweet collection.
+type Corpus struct {
+	w      *world.World
+	tweets []Tweet
+
+	// termIndex maps each token to the sorted tweets containing it.
+	termIndex map[string][]TweetID
+
+	tweetsBy   []int // posts per user
+	mentionsOf []int // mentions received per user
+	retweetsOf []int // retweets received per user
+}
+
+// World returns the generating world (the evaluation oracle).
+func (c *Corpus) World() *world.World { return c.w }
+
+// NumTweets returns the number of posts.
+func (c *Corpus) NumTweets() int { return len(c.tweets) }
+
+// Tweet returns the post with the given id.
+func (c *Corpus) Tweet(id TweetID) *Tweet { return &c.tweets[id] }
+
+// NumTweetsBy returns how many posts the user authored.
+func (c *Corpus) NumTweetsBy(u world.UserID) int { return c.tweetsBy[u] }
+
+// NumMentionsOf returns how many posts mention the user.
+func (c *Corpus) NumMentionsOf(u world.UserID) int { return c.mentionsOf[u] }
+
+// NumRetweetsOf returns the total retweets the user's posts received.
+func (c *Corpus) NumRetweetsOf(u world.UserID) int { return c.retweetsOf[u] }
+
+// Match returns the ids of all posts containing every token of the
+// query after lower-casing — the paper's default matching predicate.
+// Results are sorted ascending; nil means no match (or an empty query).
+func (c *Corpus) Match(query string) []TweetID {
+	tokens := textutil.Tokenize(query)
+	if len(tokens) == 0 {
+		return nil
+	}
+	// Intersect posting lists, starting from the rarest token.
+	postings := make([][]TweetID, len(tokens))
+	for i, tok := range tokens {
+		p, ok := c.termIndex[tok]
+		if !ok {
+			return nil
+		}
+		postings[i] = p
+	}
+	sort.Slice(postings, func(i, j int) bool { return len(postings[i]) < len(postings[j]) })
+	result := postings[0]
+	for _, p := range postings[1:] {
+		result = intersect(result, p)
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	// Copy so callers cannot mutate the index.
+	out := make([]TweetID, len(result))
+	copy(out, result)
+	return out
+}
+
+func intersect(a, b []TweetID) []TweetID {
+	var out []TweetID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// fillerWords pad posts with realistic chatter. They are chosen to be
+// disjoint from every anchor-topic keyword token so they never create
+// accidental query matches.
+var fillerWords = []string{
+	"really", "totally", "honestly", "vibes", "lol", "omg", "wow",
+	"pretty", "kinda", "super", "definitely", "finally", "tonight",
+	"yesterday", "weekend", "morning", "coffee", "friends", "family",
+	"mood", "energy", "thoughts", "feeling", "excited", "amazing",
+}
+
+// Generate builds a corpus from the world. Generation is deterministic
+// in cfg.Seed.
+func Generate(w *world.World, cfg GenConfig) *Corpus {
+	rng := xrand.New(cfg.Seed)
+	c := &Corpus{
+		w:          w,
+		termIndex:  map[string][]TweetID{},
+		tweetsBy:   make([]int, len(w.Users)),
+		mentionsOf: make([]int, len(w.Users)),
+		retweetsOf: make([]int, len(w.Users)),
+	}
+
+	// Per-topic keyword samplers weighted by TweetRate: this is where
+	// search popularity and tweet usage deliberately diverge.
+	kwSamplers := make([]*xrand.Weighted, len(w.Topics))
+	for i := range w.Topics {
+		kws := w.Topics[i].Keywords
+		weights := make([]float64, len(kws))
+		for j := range kws {
+			weights[j] = kws[j].TweetRate + 1e-6
+		}
+		kwSamplers[i] = xrand.NewWeighted(rng.Split(), weights)
+	}
+
+	// Casual users double as the fan pool for mention posts.
+	var casuals []world.UserID
+	for i := range w.Users {
+		if w.Users[i].Kind == world.CasualUser {
+			casuals = append(casuals, w.Users[i].ID)
+		}
+	}
+
+	// Spammers chase trending topics: their keyword stuffing follows
+	// the topics' actual microblog activity, so dead (navigational)
+	// topics attract no spam and stay genuinely unanswerable.
+	spamWeights := make([]float64, len(w.Topics))
+	for i := range w.Topics {
+		spamWeights[i] = w.Topics[i].TweetPop*w.Topics[i].TweetActivity + 1e-9
+	}
+	spamTopics := xrand.NewWeighted(rng.Split(), spamWeights)
+
+	for i := range w.Users {
+		u := &w.Users[i]
+		switch u.Kind {
+		case world.ExpertUser, world.NewsUser:
+			mean := cfg.TweetsPerExpert * (0.3 + u.Influence)
+			n := rng.Poisson(mean)
+			for k := 0; k < n; k++ {
+				if rng.Bool(cfg.OffTopicRate) || len(u.Topics) == 0 {
+					c.addChatter(u.ID, rng)
+					continue
+				}
+				topic := u.Topics[rng.Intn(len(u.Topics))]
+				// Navigational topics (mapquest-style) are searched but
+				// not tweeted: their would-be topical posts degrade to
+				// chatter, leaving the query unanswerable by any detector.
+				if !rng.Bool(w.Topic(topic).TweetActivity) {
+					c.addChatter(u.ID, rng)
+					continue
+				}
+				id := c.addTopical(u.ID, topic, kwSamplers[topic], rng, cfg)
+				// Fans mention productive experts in topical posts.
+				if rng.Bool(cfg.MentionRate*u.Influence*2) && len(casuals) > 0 {
+					fan := casuals[rng.Intn(len(casuals))]
+					c.addMentionPost(fan, u.ID, topic, kwSamplers[topic], rng)
+				}
+				_ = id
+			}
+		case world.CasualUser:
+			n := rng.Poisson(cfg.TweetsPerCasual)
+			for k := 0; k < n; k++ {
+				c.addChatter(u.ID, rng)
+			}
+		case world.SpamUser:
+			n := rng.Poisson(cfg.TweetsPerSpammer)
+			for k := 0; k < n; k++ {
+				// Keyword stuffing: a trending topic's head keyword plus bait.
+				topic := world.TopicID(spamTopics.Draw())
+				kw := w.Topic(topic).Keywords[0].Text
+				text := "free prizes " + kw + " click here " + fillerWords[rng.Intn(len(fillerWords))]
+				c.append(u.ID, text, nil, 0, -1)
+			}
+		}
+	}
+	c.buildIndex()
+	return c
+}
+
+// addTopical emits one on-topic post for the author.
+func (c *Corpus) addTopical(author world.UserID, topic world.TopicID,
+	kws *xrand.Weighted, rng *xrand.RNG, cfg GenConfig) TweetID {
+
+	t := c.w.Topic(topic)
+	kw := t.Keywords[kws.Draw()].Text
+	var b strings.Builder
+	b.WriteString(fillerWords[rng.Intn(len(fillerWords))])
+	b.WriteByte(' ')
+	b.WriteString(kw)
+	if rng.Bool(cfg.SecondKeywordRate) {
+		second := t.Keywords[kws.Draw()].Text
+		if second != kw {
+			b.WriteByte(' ')
+			b.WriteString(second)
+		}
+	}
+	b.WriteByte(' ')
+	b.WriteString(fillerWords[rng.Intn(len(fillerWords))])
+
+	retweets := rng.Poisson(cfg.RetweetBoost * c.w.User(author).Influence * 2)
+	return c.append(author, b.String(), nil, retweets, topic)
+}
+
+// addMentionPost emits a fan post that @-mentions an expert together
+// with a topical keyword, feeding the expert's mention-impact feature.
+func (c *Corpus) addMentionPost(fan, expert world.UserID, topic world.TopicID,
+	kws *xrand.Weighted, rng *xrand.RNG) {
+
+	t := c.w.Topic(topic)
+	kw := t.Keywords[kws.Draw()].Text
+	text := fmt.Sprintf("@%s great takes on %s %s",
+		c.w.User(expert).ScreenName, kw, fillerWords[rng.Intn(len(fillerWords))])
+	c.append(fan, text, []world.UserID{expert}, rng.Poisson(0.2), topic)
+}
+
+// addChatter emits a generic off-topic post; occasionally it mentions
+// another random user, giving mention denominators realistic mass.
+func (c *Corpus) addChatter(author world.UserID, rng *xrand.RNG) {
+	var b strings.Builder
+	n := 2 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(fillerWords[rng.Intn(len(fillerWords))])
+	}
+	var mentions []world.UserID
+	if rng.Bool(0.08) {
+		other := world.UserID(rng.Intn(len(c.w.Users)))
+		if other != author {
+			b.WriteString(" @")
+			b.WriteString(c.w.User(other).ScreenName)
+			mentions = append(mentions, other)
+		}
+	}
+	c.append(author, b.String(), mentions, rng.Poisson(0.05), -1)
+}
+
+// append finalizes one post: truncates to 140 runes, tokenizes, and
+// updates the per-user counters.
+func (c *Corpus) append(author world.UserID, text string, mentions []world.UserID, retweets int, topic world.TopicID) TweetID {
+	text = textutil.TruncateRunes(text, 140)
+	id := TweetID(len(c.tweets))
+	c.tweets = append(c.tweets, Tweet{
+		ID:           id,
+		Author:       author,
+		Text:         text,
+		Terms:        textutil.Tokenize(text),
+		Mentions:     mentions,
+		RetweetCount: retweets,
+		Topic:        topic,
+	})
+	c.tweetsBy[author]++
+	for _, m := range mentions {
+		c.mentionsOf[m]++
+	}
+	c.retweetsOf[author] += retweets
+	return id
+}
+
+// buildIndex constructs the token -> tweet inverted index.
+func (c *Corpus) buildIndex() {
+	for i := range c.tweets {
+		seen := map[string]bool{}
+		for _, tok := range c.tweets[i].Terms {
+			if seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			c.termIndex[tok] = append(c.termIndex[tok], c.tweets[i].ID)
+		}
+	}
+	// Posting lists are already sorted because tweets are appended in id
+	// order, but assert the invariant cheaply in debug-style.
+	for _, p := range c.termIndex {
+		if !sort.SliceIsSorted(p, func(i, j int) bool { return p[i] < p[j] }) {
+			panic("microblog: posting list not sorted")
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package relops
+
+import (
+	"strings"
+	"testing"
+)
+
+func sqlCatalog() Catalog {
+	users := MustNew(Column{"id", Int64}, Column{"name", String}, Column{"score", Float64})
+	users.MustAppendRow(1, "ann", 2.5)
+	users.MustAppendRow(2, "bob", 1.0)
+	users.MustAppendRow(3, "cat", 4.0)
+	users.MustAppendRow(4, "dan", 1.5)
+
+	posts := MustNew(Column{"author", Int64}, Column{"likes", Int64})
+	posts.MustAppendRow(1, 10)
+	posts.MustAppendRow(1, 20)
+	posts.MustAppendRow(2, 5)
+	posts.MustAppendRow(3, 7)
+	posts.MustAppendRow(3, 0)
+	posts.MustAppendRow(3, 3)
+	return Catalog{"users": users, "posts": posts}
+}
+
+func TestSQLSelectProject(t *testing.T) {
+	out, err := Exec(sqlCatalog(), "SELECT name, id FROM users", ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 4 || out.NumCols() != 2 {
+		t.Fatalf("got %dx%d", out.NumRows(), out.NumCols())
+	}
+	if out.Schema()[0].Name != "name" {
+		t.Errorf("column order not preserved: %v", out.Schema())
+	}
+}
+
+func TestSQLWhere(t *testing.T) {
+	out, err := Exec(sqlCatalog(), "SELECT id FROM users WHERE score > 1.2 AND id < 4", ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := out.Ints("id")
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("ids = %v, want [1 3]", ids)
+	}
+}
+
+func TestSQLWhereString(t *testing.T) {
+	out, err := Exec(sqlCatalog(), "SELECT id FROM users WHERE name = 'bob'", ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := out.Ints("id")
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestSQLComputedColumn(t *testing.T) {
+	out, err := Exec(sqlCatalog(), "SELECT id, score * 2 AS double FROM users", ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := out.Floats("double")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds[0] != 5.0 {
+		t.Errorf("double[0] = %v", ds[0])
+	}
+	// Integer arithmetic stays integer except division.
+	out2, err := Exec(sqlCatalog(), "SELECT id + 10 AS shifted FROM users", ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out2.Ints("shifted"); err != nil {
+		t.Errorf("int arithmetic lost type: %v", err)
+	}
+	out3, err := Exec(sqlCatalog(), "SELECT id / 2 AS half FROM users", ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := out3.Floats("half")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs[0] != 0.5 {
+		t.Errorf("division not float: %v", hs[0])
+	}
+}
+
+func TestSQLJoin(t *testing.T) {
+	out, err := Exec(sqlCatalog(),
+		"SELECT name, likes FROM posts INNER JOIN users ON author = id", ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 6 {
+		t.Fatalf("join rows = %d, want 6", out.NumRows())
+	}
+}
+
+func TestSQLGroupByAggregates(t *testing.T) {
+	out, err := Exec(sqlCatalog(),
+		"SELECT author, COUNT(*) AS n, SUM(likes) AS total, MAX(likes) AS best FROM posts GROUP BY author",
+		ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 3 {
+		t.Fatalf("groups = %d", out.NumRows())
+	}
+	authors, _ := out.Ints("author")
+	ns, _ := out.Ints("n")
+	totals, _ := out.Ints("total")
+	bests, _ := out.Ints("best")
+	if authors[0] != 1 || ns[0] != 2 || totals[0] != 30 || bests[0] != 20 {
+		t.Errorf("group 1 wrong: %v %v %v %v", authors[0], ns[0], totals[0], bests[0])
+	}
+	if authors[2] != 3 || ns[2] != 3 || totals[2] != 10 || bests[2] != 7 {
+		t.Errorf("group 3 wrong")
+	}
+}
+
+func TestSQLScalarFunction(t *testing.T) {
+	opts := ExecOptions{Funcs: map[string]func(...float64) float64{
+		"boost": func(args ...float64) float64 { return args[0]*10 + args[1] },
+	}}
+	out, err := Exec(sqlCatalog(), "SELECT boost(id, score) AS b FROM users WHERE boost(id, score) > 20", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, _ := out.Floats("b")
+	if len(bs) != 3 { // ids 2,3,4 boost to 21, 34, 41.5
+		t.Fatalf("rows = %d, want 3 (%v)", len(bs), bs)
+	}
+}
+
+// TestSQLFigure4 runs the paper's Figure 4 community detection queries
+// as literal SQL text: the neighbors query (join the graph with the
+// community relation on both endpoints, filter by positive modularity
+// gain) and the partitions query (argmax per community).
+func TestSQLFigure4(t *testing.T) {
+	// Vertex-level graph: two triangles {0,1,2} and {3,4,5} linked by a
+	// weak 2-3 edge. Communities: every vertex its own.
+	graph := MustNew(Column{"query1", Int64}, Column{"query2", Int64}, Column{"distance", Float64})
+	for _, e := range [][3]float64{
+		{0, 1, 10}, {0, 2, 10}, {1, 2, 10},
+		{3, 4, 10}, {3, 5, 10}, {4, 5, 10},
+		{2, 3, 1},
+	} {
+		graph.MustAppendRow(int64(e[0]), int64(e[1]), e[2])
+		graph.MustAppendRow(int64(e[1]), int64(e[0]), e[2]) // symmetric
+	}
+	comm1 := MustNew(Column{"q1", Int64}, Column{"c1", Int64})
+	comm2 := MustNew(Column{"q2", Int64}, Column{"c2", Int64})
+	for v := 0; v < 6; v++ {
+		comm1.MustAppendRow(v, v)
+		comm2.MustAppendRow(v, v)
+	}
+	cat := Catalog{"graph": graph, "comm1": comm1, "comm2": comm2}
+
+	// Degrees: each triangle vertex has 20 (or 21 for the bridge ends);
+	// total edge mass 2*61. ModulGain(a,b) approximates ΔMod with the
+	// vertex degrees captured in the closure.
+	deg := map[int]float64{0: 20, 1: 20, 2: 21, 3: 21, 4: 20, 5: 20}
+	mG := 61.0
+	opts := ExecOptions{Funcs: map[string]func(...float64) float64{
+		// ΔMod = m₁↔₂ − D₁·D₂/(2·m_G): positive for the strong triangle
+		// edges (10 − ~3.4), negative for the weak bridge (1 − ~3.6).
+		"modulgain": func(args ...float64) float64 {
+			d1, d2 := deg[int(args[0])], deg[int(args[1])]
+			return args[2] - d1*d2/(2*mG)
+		},
+	}}
+
+	neighbors, err := Exec(cat, `
+		SELECT c1 AS query1, c2 AS query2, distance
+		FROM graph
+		INNER JOIN comm1 ON query1 = q1
+		INNER JOIN comm2 ON query2 = q2
+		WHERE modulgain(c1, c2, distance) > 0 AND c1 <> c2`, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neighbors.NumRows() == 0 {
+		t.Fatal("no neighbor pairs")
+	}
+
+	cat["neighbors"] = neighbors
+	partitions, err := Exec(cat, `
+		SELECT query2, ARGMAX(distance, query1) AS leader
+		FROM neighbors
+		GROUP BY query2`, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partitions.NumRows() != 6 {
+		t.Fatalf("partitions rows = %d, want 6", partitions.NumRows())
+	}
+	// Every vertex's chosen leader must be a triangle-mate (distance 10
+	// beats the weak bridge's 1), with ties broken toward the smaller id.
+	q2s, _ := partitions.Ints("query2")
+	leaders, _ := partitions.Ints("leader")
+	sameTriangle := func(a, b int64) bool { return (a < 3) == (b < 3) }
+	for i := range q2s {
+		if !sameTriangle(q2s[i], leaders[i]) {
+			t.Errorf("vertex %d chose cross-triangle leader %d", q2s[i], leaders[i])
+		}
+		if q2s[i] == leaders[i] {
+			t.Errorf("vertex %d chose itself", q2s[i])
+		}
+	}
+}
+
+func TestSQLErrors(t *testing.T) {
+	cat := sqlCatalog()
+	cases := []string{
+		"SELECT FROM users",
+		"SELECT id FROM nope",
+		"SELECT zzz FROM users",
+		"SELECT id FROM users WHERE name > 5",
+		"SELECT SUM(likes) AS s FROM posts",                        // aggregate without GROUP BY
+		"SELECT likes, SUM(likes) AS s FROM posts GROUP BY author", // non-key bare column
+		"SELECT SUM(likes) FROM posts GROUP BY author",             // aggregate without alias
+		"SELECT id FROM users WHERE unknownfn(id) > 0",
+		"SELECT 'oops",
+		"SELECT id FROM users INNER JOIN posts ON missing = author",
+		"SELECT id FROM users trailing garbage",
+	}
+	for _, q := range cases {
+		if _, err := Exec(cat, q, ExecOptions{}); err == nil {
+			t.Errorf("query %q succeeded, want error", q)
+		}
+	}
+}
+
+func TestSQLCaseInsensitiveKeywords(t *testing.T) {
+	out, err := Exec(sqlCatalog(), "select ID from USERS where SCORE >= 2.5 group by id", ExecOptions{})
+	if err != nil {
+		// GROUP BY with no aggregates: plain grouping of keys.
+		t.Fatal(err)
+	}
+	if out.NumRows() == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestSQLWhereMatchesSelect(t *testing.T) {
+	// Equivalence: SQL WHERE produces the same rows as a hand-written
+	// Select over the same predicate.
+	cat := sqlCatalog()
+	out, err := Exec(cat, "SELECT id, score FROM users WHERE score >= 1.5", ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Select(cat["users"], func(r Row) bool { return r.Float("score") >= 1.5 })
+	if out.NumRows() != want.NumRows() {
+		t.Fatalf("SQL %d rows, Select %d rows", out.NumRows(), want.NumRows())
+	}
+}
+
+func TestSQLLexer(t *testing.T) {
+	toks, err := lexSQL("SELECT a, b FROM t WHERE x <= 3.5 AND y <> 'z it'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := make([]string, len(toks))
+	for i, tk := range toks {
+		joined[i] = tk.text
+	}
+	s := strings.Join(joined, "|")
+	for _, want := range []string{"SELECT", "<=", "3.5", "<>", "z it"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("token stream %q missing %q", s, want)
+		}
+	}
+	if _, err := lexSQL("SELECT ~"); err == nil {
+		t.Error("bad byte accepted")
+	}
+}
+
+func BenchmarkSQLJoinGroupBy(b *testing.B) {
+	posts := MustNew(Column{"author", Int64}, Column{"likes", Int64})
+	users := MustNew(Column{"id", Int64}, Column{"region", Int64})
+	for i := 0; i < 5000; i++ {
+		posts.MustAppendRow(i%500, i%37)
+		if i < 500 {
+			users.MustAppendRow(i, i%13)
+		}
+	}
+	cat := Catalog{"posts": posts, "users": users}
+	q := "SELECT region, SUM(likes) AS total FROM posts INNER JOIN users ON author = id GROUP BY region"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exec(cat, q, ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package textutil implements the light-weight text processing the e#
+// pipeline relies on: lower-casing, tokenization, the two matching
+// predicates from the paper (AND-match for tweets, exact in-order match
+// for community lookup), and the spelling-variant generator used by the
+// synthetic world to mimic the "hundreds of variants" a production query
+// log contains.
+//
+// The paper deliberately performs no stemming or spell-correction
+// (Section 4.1: queries are left unchanged "to capture as many different
+// cases as possible"); this package follows suit.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize lower-cases s and collapses runs of whitespace into single
+// spaces. This is the only normalization the paper applies before
+// matching.
+func Normalize(s string) string {
+	return strings.Join(Tokenize(s), " ")
+}
+
+// Tokenize lower-cases s and splits it into tokens on whitespace.
+// Punctuation is preserved inside tokens (so "49ers" and "#niners" stay
+// intact), matching the paper's choice to keep query variants verbatim.
+func Tokenize(s string) []string {
+	fields := strings.Fields(strings.ToLower(s))
+	out := fields[:0]
+	for _, f := range fields {
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ContainsAll reports whether every token of query appears among the
+// tokens of text (both lower-cased). This is the paper's default tweet
+// matching predicate: "a tweet matches a query if it contains all of its
+// terms after lower-casing".
+func ContainsAll(textTokens []string, queryTokens []string) bool {
+	if len(queryTokens) == 0 {
+		return false
+	}
+	for _, q := range queryTokens {
+		found := false
+		for _, t := range textTokens {
+			if t == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsPhrase reports whether the query tokens appear in text tokens
+// contiguously and in order. This is the paper's community-matching
+// predicate: "we find the community which contains the query terms
+// exactly and in order, after lower-casing".
+func ContainsPhrase(textTokens []string, queryTokens []string) bool {
+	n, m := len(textTokens), len(queryTokens)
+	if m == 0 || m > n {
+		return false
+	}
+outer:
+	for i := 0; i+m <= n; i++ {
+		for j := 0; j < m; j++ {
+			if textTokens[i+j] != queryTokens[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// EqualPhrase reports whether two strings normalize to the same token
+// sequence. Used for exact-match domain lookup.
+func EqualPhrase(a, b string) bool {
+	return Normalize(a) == Normalize(b)
+}
+
+// stopwords is a small English list; the generators use it to pad tweet
+// text with realistic filler that the matcher must ignore.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "and": true, "or": true,
+	"of": true, "in": true, "on": true, "at": true, "to": true,
+	"is": true, "are": true, "was": true, "for": true, "with": true,
+	"this": true, "that": true, "it": true, "as": true, "by": true,
+	"be": true, "from": true, "about": true, "just": true, "so": true,
+	"my": true, "we": true, "you": true, "i": true, "not": true,
+}
+
+// IsStopword reports whether the lower-cased token is a common English
+// stopword.
+func IsStopword(tok string) bool {
+	return stopwords[strings.ToLower(tok)]
+}
+
+// Stopwords returns a copy of the built-in stopword list, sorted order
+// unspecified.
+func Stopwords() []string {
+	out := make([]string, 0, len(stopwords))
+	for w := range stopwords {
+		out = append(out, w)
+	}
+	return out
+}
+
+// VariantKind enumerates the spelling-variant transformations the
+// synthetic query-log generator applies to canonical keywords, mirroring
+// the variant families the paper cites (football / fotbal / foot /
+// #sanfrancisco / sf ...).
+type VariantKind int
+
+const (
+	// VariantHashtag prefixes the concatenated keyword with '#'.
+	VariantHashtag VariantKind = iota
+	// VariantConcat removes the spaces of a multi-word keyword.
+	VariantConcat
+	// VariantDropLetter removes one interior letter (a typo).
+	VariantDropLetter
+	// VariantSwapLetters transposes two adjacent interior letters.
+	VariantSwapLetters
+	// VariantAbbrev keeps the first letter of each word.
+	VariantAbbrev
+	// VariantDoubleLetter doubles one interior letter.
+	VariantDoubleLetter
+	numVariantKinds
+)
+
+// NumVariantKinds is the number of distinct variant transformations.
+const NumVariantKinds = int(numVariantKinds)
+
+// Variant applies the given transformation to a canonical keyword. The
+// pos argument selects the mutation site deterministically (callers pass
+// an RNG draw); it is reduced modulo the valid range. If the
+// transformation is not applicable (for example VariantConcat on a
+// single-word keyword) the canonical form is returned unchanged, so
+// callers can filter with != original.
+func Variant(keyword string, kind VariantKind, pos int) string {
+	kw := strings.ToLower(strings.TrimSpace(keyword))
+	if kw == "" {
+		return kw
+	}
+	if pos < 0 {
+		pos = -pos
+	}
+	switch kind {
+	case VariantHashtag:
+		return "#" + strings.ReplaceAll(kw, " ", "")
+	case VariantConcat:
+		return strings.ReplaceAll(kw, " ", "")
+	case VariantDropLetter:
+		runes := []rune(kw)
+		if len(runes) < 4 {
+			return kw
+		}
+		i := 1 + pos%(len(runes)-2)
+		if runes[i] == ' ' {
+			i++
+			if i >= len(runes)-1 {
+				return kw
+			}
+		}
+		return string(runes[:i]) + string(runes[i+1:])
+	case VariantSwapLetters:
+		runes := []rune(kw)
+		if len(runes) < 4 {
+			return kw
+		}
+		i := 1 + pos%(len(runes)-3)
+		if runes[i] == ' ' || runes[i+1] == ' ' || runes[i] == runes[i+1] {
+			return kw
+		}
+		runes[i], runes[i+1] = runes[i+1], runes[i]
+		return string(runes)
+	case VariantAbbrev:
+		words := strings.Fields(kw)
+		if len(words) < 2 {
+			return kw
+		}
+		var b strings.Builder
+		for _, w := range words {
+			r := []rune(w)
+			b.WriteRune(r[0])
+		}
+		return b.String()
+	case VariantDoubleLetter:
+		runes := []rune(kw)
+		if len(runes) < 3 {
+			return kw
+		}
+		i := 1 + pos%(len(runes)-2)
+		if runes[i] == ' ' || !unicode.IsLetter(runes[i]) {
+			return kw
+		}
+		return string(runes[:i+1]) + string(runes[i:])
+	default:
+		return kw
+	}
+}
+
+// Variants generates up to max distinct variants of keyword, cycling
+// through the transformation kinds with the mutation site advanced by
+// salt. The canonical form itself is never included.
+func Variants(keyword string, max, salt int) []string {
+	canon := Normalize(keyword)
+	seen := map[string]bool{canon: true}
+	var out []string
+	for round := 0; round < 4 && len(out) < max; round++ {
+		for k := 0; k < NumVariantKinds && len(out) < max; k++ {
+			v := Variant(canon, VariantKind(k), salt+round*7+k)
+			if v == "" || seen[v] {
+				continue
+			}
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TruncateRunes returns s truncated to at most n runes. The microblog
+// generator uses it to enforce the 140-character post limit.
+func TruncateRunes(s string, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	count := 0
+	for i := range s {
+		if count == n {
+			return s[:i]
+		}
+		count++
+	}
+	return s
+}

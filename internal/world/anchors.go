@@ -1,0 +1,415 @@
+package world
+
+import "repro/internal/xrand"
+
+// anchorKeyword is a curated keyword in an anchor topic spec.
+type anchorKeyword struct {
+	text      string
+	searchPop float64
+	tweetRate float64
+}
+
+// anchorSpec hand-describes a topic that mirrors one of the paper's
+// worked examples, so the qualitative experiments (Fig 7, Tables 2–7) can
+// be run with the very query strings the paper uses.
+type anchorSpec struct {
+	name     string
+	category Category
+	keywords []anchorKeyword
+	urls     []string
+	// related lists anchor names this topic relates to, with weights.
+	related map[string]float64
+}
+
+// anchorSpecs returns the curated topics. The 49ers cluster reproduces
+// Figure 7: the 49ers community proper plus its three closest communities
+// (San Francisco tourism, the SF Gate newspaper, and Colin Kaepernick).
+// TweetRate values encode the paper's motivating observation: "49ers" is
+// tweeted constantly, but satellite terms like "west coast football" or
+// player names are searched far more often than they fit into tweets.
+func anchorSpecs() []anchorSpec {
+	return []anchorSpec{
+		{
+			name:     "49ers",
+			category: Sports,
+			keywords: []anchorKeyword{
+				{"49ers", 1.0, 0.7},
+				{"niners", 0.5, 0.4},
+				{"#niners", 0.3, 0.3},
+				{"49ers draft", 0.45, 0.15},
+				{"49ers schedule", 0.4, 0.01},
+				{"vernon davis", 0.3, 0.05},
+				{"bruce ellington", 0.2, 0.03},
+				{"west coast football", 0.25, 0.01},
+				{"sf 49ers", 0.2, 0.02},
+				{"49res", 0.1, 0.002},
+			},
+			urls:    []string{"49ers.com", "ninersnation.com", "49erswebzone.com"},
+			related: map[string]float64{"san francisco": 0.35, "sf gate": 0.3, "colin kaepernick": 0.45},
+		},
+		{
+			name:     "san francisco",
+			category: General,
+			keywords: []anchorKeyword{
+				{"san francisco", 1.0, 0.5},
+				{"#sanfrancisco", 0.3, 0.2},
+				{"sf", 0.6, 0.3},
+				{"golden gate bridge", 0.5, 0.1},
+				{"alcatraz", 0.4, 0.05},
+				{"fishermans wharf", 0.3, 0.02},
+				{"san francisco hotels", 0.35, 0.01},
+			},
+			urls:    []string{"sftravel.com", "sanfrancisco.gov", "goldengate.org"},
+			related: map[string]float64{"49ers": 0.35, "sf gate": 0.4},
+		},
+		{
+			name:     "sf gate",
+			category: General,
+			keywords: []anchorKeyword{
+				{"sf gate", 1.0, 0.3},
+				{"sfgate", 0.7, 0.2},
+				{"san francisco chronicle", 0.5, 0.05},
+				{"sfgate sports", 0.3, 0.01},
+			},
+			urls:    []string{"sfgate.com", "sfchronicle.com"},
+			related: map[string]float64{"49ers": 0.3, "san francisco": 0.4},
+		},
+		{
+			name:     "colin kaepernick",
+			category: Sports,
+			keywords: []anchorKeyword{
+				{"colin kaepernick", 1.0, 0.4},
+				{"kaepernick", 0.7, 0.35},
+				{"kaepernick jersey", 0.3, 0.01},
+				{"kap", 0.2, 0.1},
+			},
+			urls:    []string{"kaepernick7.com", "nfl.com/kaepernick"},
+			related: map[string]float64{"49ers": 0.45},
+		},
+		{
+			name:     "nfl",
+			category: Sports,
+			keywords: []anchorKeyword{
+				{"nfl", 1.0, 0.7},
+				{"nfl scores", 0.6, 0.1},
+				{"nfl draft", 0.55, 0.2},
+				{"nfl standings", 0.4, 0.01},
+				{"fantasy football", 0.5, 0.25},
+			},
+			urls:    []string{"nfl.com", "espn.com/nfl"},
+			related: map[string]float64{"49ers": 0.5, "buffalo bills": 0.5, "baltimore ravens": 0.5},
+		},
+		{
+			name:     "buffalo bills",
+			category: Sports,
+			keywords: []anchorKeyword{
+				{"buffalo bills", 1.0, 0.6},
+				{"bills mafia", 0.4, 0.3},
+				{"buffalo bills schedule", 0.35, 0.01},
+			},
+			urls:    []string{"buffalobills.com", "billswire.com"},
+			related: map[string]float64{"nfl": 0.5},
+		},
+		{
+			name:     "baltimore ravens",
+			category: Sports,
+			keywords: []anchorKeyword{
+				{"baltimore ravens", 1.0, 0.6},
+				{"ravens flock", 0.35, 0.25},
+				{"ravens roster", 0.3, 0.02},
+			},
+			urls:    []string{"baltimoreravens.com", "ravenswire.com"},
+			related: map[string]float64{"nfl": 0.5},
+		},
+		{
+			name:     "nascar",
+			category: Sports,
+			keywords: []anchorKeyword{
+				{"nascar", 1.0, 0.65},
+				{"nascar standings", 0.45, 0.02},
+				{"daytona 500", 0.5, 0.15},
+				{"nascar schedule", 0.4, 0.01},
+			},
+			urls:    []string{"nascar.com", "racing-reference.info"},
+			related: map[string]float64{},
+		},
+		{
+			name:     "bluetooth speakers",
+			category: Electronics,
+			keywords: []anchorKeyword{
+				{"bluetooth speakers", 1.0, 0.3},
+				{"bluetooth speaker", 0.8, 0.3},
+				{"bluetooth", 0.9, 0.5},
+				{"wireless speakers", 0.5, 0.1},
+				{"portable speaker", 0.45, 0.08},
+				{"bluetooth speaker review", 0.3, 0.01},
+				{"best bluetooth speakers", 0.35, 0.01},
+			},
+			urls:    []string{"soundguys.com", "speakerdeals.com", "audioreview.net"},
+			related: map[string]float64{"ipad mini": 0.25},
+		},
+		{
+			name:     "ipad mini",
+			category: Electronics,
+			keywords: []anchorKeyword{
+				{"ipad mini", 1.0, 0.5},
+				{"ipad mini case", 0.4, 0.02},
+				{"ipad mini review", 0.35, 0.01},
+				{"ipad", 0.9, 0.6},
+			},
+			urls:    []string{"apple.com/ipad", "ipadforums.net"},
+			related: map[string]float64{"bluetooth speakers": 0.25},
+		},
+		{
+			name:     "xbox",
+			category: Electronics,
+			keywords: []anchorKeyword{
+				{"xbox", 1.0, 0.7},
+				{"xbox one", 0.7, 0.5},
+				{"xbox live", 0.5, 0.3},
+				{"xbox controller", 0.4, 0.05},
+			},
+			urls:    []string{"xbox.com", "majornelson.com"},
+			related: map[string]float64{},
+		},
+		{
+			name:     "garmin",
+			category: Electronics,
+			keywords: []anchorKeyword{
+				{"garmin", 1.0, 0.4},
+				{"garmin watch", 0.5, 0.1},
+				{"garmin connect", 0.45, 0.05},
+				{"garmin update", 0.3, 0.01},
+			},
+			urls:    []string{"garmin.com", "dcrainmaker.com"},
+			related: map[string]float64{},
+		},
+		{
+			name:     "dow futures",
+			category: Finance,
+			keywords: []anchorKeyword{
+				{"dow futures", 1.0, 0.2},
+				{"dow jones futures", 0.6, 0.1},
+				{"stock futures", 0.55, 0.15},
+				{"premarket", 0.5, 0.25},
+				{"dow jones", 0.8, 0.4},
+				{"futures market", 0.3, 0.02},
+			},
+			urls:    []string{"marketwatch.com", "cnbc.com/futures", "investing.com"},
+			related: map[string]float64{"nasdaq": 0.5},
+		},
+		{
+			name:     "nasdaq",
+			category: Finance,
+			keywords: []anchorKeyword{
+				{"nasdaq", 1.0, 0.5},
+				{"nasdaq composite", 0.4, 0.05},
+				{"nasdaq today", 0.35, 0.02},
+				{"msft", 0.5, 0.3},
+			},
+			urls:    []string{"nasdaq.com", "marketwatch.com"},
+			related: map[string]float64{"dow futures": 0.5, "bloomberg": 0.4},
+		},
+		{
+			name:     "bloomberg",
+			category: Finance,
+			keywords: []anchorKeyword{
+				{"bloomberg", 1.0, 0.45},
+				{"bloomberg terminal", 0.3, 0.02},
+				{"bloomberg markets", 0.35, 0.05},
+			},
+			urls:    []string{"bloomberg.com"},
+			related: map[string]float64{"nasdaq": 0.4},
+		},
+		{
+			name:     "diabetes",
+			category: Health,
+			keywords: []anchorKeyword{
+				{"diabetes", 1.0, 0.5},
+				{"type 1 diabetes", 0.55, 0.2},
+				{"type 2 diabetes", 0.6, 0.2},
+				{"blood sugar", 0.5, 0.25},
+				{"insulin", 0.5, 0.3},
+				{"diabetes symptoms", 0.45, 0.01},
+				{"diabetic diet", 0.4, 0.02},
+				{"t1d", 0.2, 0.15},
+			},
+			urls:    []string{"diabetes.org", "diabetesdaily.com", "t1dexchange.org"},
+			related: map[string]float64{"bmi": 0.3},
+		},
+		{
+			name:     "asthma",
+			category: Health,
+			keywords: []anchorKeyword{
+				{"asthma", 1.0, 0.45},
+				{"asthma attack", 0.45, 0.1},
+				{"inhaler", 0.4, 0.15},
+				{"asthma triggers", 0.3, 0.01},
+			},
+			urls:    []string{"aafa.org", "asthma.org.uk"},
+			related: map[string]float64{},
+		},
+		{
+			name:     "scoliosis",
+			category: Health,
+			keywords: []anchorKeyword{
+				{"scoliosis", 1.0, 0.3},
+				{"scoliosis surgery", 0.4, 0.02},
+				{"scoliosis brace", 0.35, 0.02},
+			},
+			urls:    []string{"scoliosis.org", "srs.org"},
+			related: map[string]float64{},
+		},
+		{
+			name:     "bmi",
+			category: Health,
+			keywords: []anchorKeyword{
+				{"bmi", 1.0, 0.3},
+				{"bmi calculator", 0.6, 0.01},
+				{"body mass index", 0.4, 0.03},
+			},
+			urls:    []string{"cdc.gov/bmi", "nhs.uk/bmi"},
+			related: map[string]float64{"diabetes": 0.3},
+		},
+		{
+			name:     "world war i",
+			category: Wikipedia,
+			keywords: []anchorKeyword{
+				{"world war i", 1.0, 0.15},
+				{"ww1", 0.6, 0.2},
+				{"first world war", 0.5, 0.05},
+				{"1914 1918", 0.25, 0.01},
+				{"western front", 0.3, 0.03},
+				{"ww1 in africa", 0.15, 0.01},
+			},
+			urls:    []string{"iwm.org.uk", "firstworldwar.com", "1914.org"},
+			related: map[string]float64{"world war ii": 0.45},
+		},
+		{
+			name:     "world war ii",
+			category: Wikipedia,
+			keywords: []anchorKeyword{
+				{"world war ii", 1.0, 0.2},
+				{"ww2", 0.7, 0.25},
+				{"second world war", 0.45, 0.05},
+				{"d day", 0.5, 0.1},
+			},
+			urls:    []string{"ww2history.com", "nationalww2museum.org"},
+			related: map[string]float64{"world war i": 0.45},
+		},
+		{
+			name:     "beyonce",
+			category: Wikipedia,
+			keywords: []anchorKeyword{
+				{"beyonce", 1.0, 0.7},
+				{"beyonce tour", 0.5, 0.1},
+				{"beyonce album", 0.45, 0.08},
+				{"queen b", 0.3, 0.15},
+			},
+			urls:    []string{"beyonce.com", "beyhive.net"},
+			related: map[string]float64{},
+		},
+		{
+			name:     "albert einstein",
+			category: Wikipedia,
+			keywords: []anchorKeyword{
+				{"albert einstein", 1.0, 0.2},
+				{"einstein", 0.8, 0.3},
+				{"theory of relativity", 0.4, 0.03},
+				{"einstein quotes", 0.5, 0.05},
+			},
+			urls:    []string{"einstein-website.de", "nobelprize.org/einstein"},
+			related: map[string]float64{},
+		},
+		{
+			name:     "sarah palin",
+			category: General,
+			keywords: []anchorKeyword{
+				{"sarah palin", 1.0, 0.4},
+				{"palin", 0.6, 0.3},
+				{"sarah palin news", 0.4, 0.02},
+				{"palin speech", 0.3, 0.03},
+				{"#palin", 0.2, 0.15},
+			},
+			urls:    []string{"sarahpac.com", "palinnews.net"},
+			related: map[string]float64{},
+		},
+		{
+			name:     "mapquest",
+			category: General,
+			keywords: []anchorKeyword{
+				{"mapquest", 1.0, 0.2},
+				{"mapquest directions", 0.5, 0.01},
+				{"driving directions", 0.45, 0.02},
+			},
+			urls:    []string{"mapquest.com"},
+			related: map[string]float64{},
+		},
+		{
+			name:     "honda",
+			category: General,
+			keywords: []anchorKeyword{
+				{"honda", 1.0, 0.4},
+				{"honda civic", 0.6, 0.2},
+				{"honda accord", 0.55, 0.15},
+				{"honda dealership", 0.35, 0.01},
+			},
+			urls:    []string{"honda.com", "hondanews.com"},
+			related: map[string]float64{},
+		},
+	}
+}
+
+// addAnchorTopic instantiates one curated topic spec.
+func (w *World) addAnchorTopic(spec anchorSpec, rng *xrand.RNG) {
+	t := w.newTopic(spec.category, spec.name, true)
+	t.SearchPop = 2.5 + rng.Float64() // anchors sit in the popularity head
+	t.TweetPop = 2.0 + rng.Float64()
+	t.TweetActivity = 1
+	if spec.name == "mapquest" {
+		// The paper's canonical navigational query: everyone searches
+		// it, nobody tweets about it.
+		t.TweetActivity = 0.05
+	}
+	for _, ak := range spec.keywords {
+		w.addKeyword(t, Keyword{Text: ak.text, SearchPop: ak.searchPop, TweetRate: ak.tweetRate})
+	}
+	t.URLs = append(t.URLs, spec.urls...)
+	t.NumCoreURLs = len(t.URLs)
+}
+
+// wireAnchorRelations installs the curated related-topic edges once all
+// anchors exist. Called from wireRelations via name lookup.
+func (w *World) wireAnchorRelations() {
+	byName := map[string]TopicID{}
+	for i := range w.Topics {
+		if w.Topics[i].Anchor {
+			byName[w.Topics[i].Name] = w.Topics[i].ID
+		}
+	}
+	for _, spec := range anchorSpecs() {
+		from, ok := byName[spec.name]
+		if !ok {
+			continue
+		}
+		t := w.Topic(from)
+		for name, weight := range spec.related {
+			to, ok := byName[name]
+			if !ok {
+				continue
+			}
+			if !t.hasRelation(to) {
+				t.Related = append(t.Related, RelatedTopic{ID: to, Weight: weight})
+			}
+		}
+	}
+	// Sort each topic's relations for determinism (map iteration above).
+	for i := range w.Topics {
+		rel := w.Topics[i].Related
+		for a := 1; a < len(rel); a++ {
+			for b := a; b > 0 && rel[b].ID < rel[b-1].ID; b-- {
+				rel[b], rel[b-1] = rel[b-1], rel[b]
+			}
+		}
+	}
+}

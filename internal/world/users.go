@@ -1,0 +1,115 @@
+package world
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// buildUsers populates the account roster: dedicated experts per topic,
+// category-wide news outlets, a casual background population and a small
+// spammer contingent. Expert rosters are indexed so the evaluation oracle
+// can answer relevance questions in O(1).
+func (w *World) buildUsers(namer *namer, rng *xrand.RNG) {
+	// Dedicated experts: Poisson-many per topic, each covering the topic
+	// plus occasionally one strongly related neighbour (a 49ers blogger
+	// also covering Kaepernick).
+	for i := range w.Topics {
+		t := &w.Topics[i]
+		n := rng.Poisson(w.Cfg.ExpertsPerTopic)
+		if t.Anchor && n < 4 {
+			n = 4 // anchors must have enough experts for Tables 2-7
+		}
+		for k := 0; k < n; k++ {
+			topics := []TopicID{t.ID}
+			for _, rel := range t.Related {
+				if rel.Weight >= 0.4 && rng.Bool(0.3) {
+					topics = append(topics, rel.ID)
+				}
+			}
+			infl := rng.LogNormal(-1.5, 1.0)
+			if infl > 1 {
+				infl = 1
+			}
+			u := w.addUser(User{
+				ScreenName:  namer.ScreenName(ExpertUser, t.Name),
+				Kind:        ExpertUser,
+				Topics:      topics,
+				Influence:   infl,
+				Verified:    rng.Bool(0.12 + 0.5*infl*infl),
+				Description: expertDescription(t.Name, k),
+			}, rng)
+			for _, tid := range topics {
+				w.expertsByTopic[tid] = append(w.expertsByTopic[tid], u)
+			}
+		}
+	}
+
+	// News outlets: cover a sample of topics in one category, verified,
+	// high influence — the "CNBC Newsroom" archetype.
+	for _, cat := range Categories() {
+		ids := w.TopicsInCategory(cat)
+		for k := 0; k < w.Cfg.NewsPerCategory && len(ids) > 0; k++ {
+			cover := xrand.Sample(rng, ids, 3+rng.Intn(5))
+			infl := 0.5 + 0.5*rng.Float64()
+			u := w.addUser(User{
+				ScreenName:  namer.ScreenName(NewsUser, cat.String()+fmt.Sprint(k)),
+				Kind:        NewsUser,
+				Topics:      cover,
+				Influence:   infl,
+				Verified:    rng.Bool(0.7),
+				Description: fmt.Sprintf("breaking %s news and analysis", cat),
+			}, rng)
+			for _, tid := range cover {
+				w.expertsByTopic[tid] = append(w.expertsByTopic[tid], u)
+			}
+		}
+	}
+
+	// Casual users: no expertise, low influence.
+	for k := 0; k < w.Cfg.CasualUsers; k++ {
+		w.addUser(User{
+			ScreenName:  namer.ScreenName(CasualUser, ""),
+			Kind:        CasualUser,
+			Influence:   0.02 + 0.1*rng.Float64(),
+			Description: "just here for the memes",
+		}, rng)
+	}
+
+	// Spammers: keyword-stuffing accounts with zero genuine expertise.
+	for k := 0; k < w.Cfg.SpamUsers; k++ {
+		w.addUser(User{
+			ScreenName:  namer.ScreenName(SpamUser, ""),
+			Kind:        SpamUser,
+			Influence:   0.01,
+			Description: "FREE prizes click here!!!",
+		}, rng)
+	}
+}
+
+// addUser assigns an ID and derived follower count, then appends.
+func (w *World) addUser(u User, rng *xrand.RNG) UserID {
+	u.ID = UserID(len(w.Users))
+	base := u.Influence * u.Influence * 200000
+	u.Followers = int(base * (0.5 + rng.Float64()))
+	if u.Verified && u.Followers < 5000 {
+		u.Followers += 5000 + rng.Intn(40000)
+	}
+	if u.Followers < 10 {
+		u.Followers = 10 + rng.Intn(200)
+	}
+	w.Users = append(w.Users, u)
+	return u.ID
+}
+
+func expertDescription(topic string, k int) string {
+	templates := []string{
+		"all news about %s",
+		"covering %s for the daily herald",
+		"huge %s fan. opinions my own",
+		"your source for everything %s",
+		"%s analysis and commentary",
+		"helping others learn about %s",
+	}
+	return fmt.Sprintf(templates[k%len(templates)], topic)
+}

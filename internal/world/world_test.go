@@ -1,0 +1,390 @@
+package world
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/textutil"
+)
+
+func tinyWorld(t testing.TB) *World {
+	t.Helper()
+	return Build(TinyConfig())
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(TinyConfig())
+	b := Build(TinyConfig())
+	if len(a.Topics) != len(b.Topics) || len(a.Users) != len(b.Users) {
+		t.Fatalf("sizes differ: %d/%d topics, %d/%d users",
+			len(a.Topics), len(b.Topics), len(a.Users), len(b.Users))
+	}
+	for i := range a.Topics {
+		if a.Topics[i].Name != b.Topics[i].Name {
+			t.Fatalf("topic %d name differs: %q vs %q", i, a.Topics[i].Name, b.Topics[i].Name)
+		}
+		if len(a.Topics[i].Keywords) != len(b.Topics[i].Keywords) {
+			t.Fatalf("topic %d keyword count differs", i)
+		}
+	}
+	for i := range a.Users {
+		if a.Users[i].ScreenName != b.Users[i].ScreenName {
+			t.Fatalf("user %d differs", i)
+		}
+	}
+}
+
+func TestSeedChangesWorld(t *testing.T) {
+	cfg := TinyConfig()
+	a := Build(cfg)
+	cfg.Seed = 99
+	b := Build(cfg)
+	same := 0
+	n := len(a.Topics)
+	if len(b.Topics) < n {
+		n = len(b.Topics)
+	}
+	for i := 0; i < n; i++ {
+		if a.Topics[i].Name == b.Topics[i].Name {
+			same++
+		}
+	}
+	// Anchor topics are identical by design; procedural ones must differ.
+	anchors := 0
+	for i := range a.Topics {
+		if a.Topics[i].Anchor {
+			anchors++
+		}
+	}
+	if same > anchors {
+		t.Errorf("seeds 1 and 99 share %d topic names (only %d anchors expected)", same, anchors)
+	}
+}
+
+func TestAnchorTopicsPresent(t *testing.T) {
+	w := tinyWorld(t)
+	for _, name := range []string{"49ers", "diabetes", "dow futures", "bluetooth speakers", "world war i", "sarah palin"} {
+		id, ok := w.KeywordOwner(name)
+		if !ok {
+			t.Errorf("anchor keyword %q missing", name)
+			continue
+		}
+		if !w.Topic(id).Anchor {
+			t.Errorf("keyword %q owned by non-anchor topic %q", name, w.Topic(id).Name)
+		}
+	}
+}
+
+func TestKeywordOwnerUnique(t *testing.T) {
+	w := tinyWorld(t)
+	seen := map[string]TopicID{}
+	for i := range w.Topics {
+		for _, kw := range w.Topics[i].Keywords {
+			if owner, dup := seen[kw.Text]; dup {
+				t.Fatalf("keyword %q owned by topics %d and %d", kw.Text, owner, w.Topics[i].ID)
+			}
+			seen[kw.Text] = w.Topics[i].ID
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no keywords generated")
+	}
+}
+
+func TestKeywordsNormalized(t *testing.T) {
+	w := tinyWorld(t)
+	for i := range w.Topics {
+		for _, kw := range w.Topics[i].Keywords {
+			if kw.Text != textutil.Normalize(kw.Text) {
+				t.Errorf("keyword %q not normalized", kw.Text)
+			}
+			if kw.Canonical == "" {
+				t.Errorf("keyword %q has empty canonical", kw.Text)
+			}
+			if kw.SearchPop <= 0 {
+				t.Errorf("keyword %q has non-positive SearchPop", kw.Text)
+			}
+			if kw.TweetRate < 0 || kw.TweetRate > 1 {
+				t.Errorf("keyword %q TweetRate out of range: %v", kw.Text, kw.TweetRate)
+			}
+		}
+	}
+}
+
+func TestKeywordOwnerLookup(t *testing.T) {
+	w := tinyWorld(t)
+	for i := range w.Topics {
+		for _, kw := range w.Topics[i].Keywords {
+			id, ok := w.KeywordOwner(kw.Text)
+			if !ok || id != w.Topics[i].ID {
+				t.Fatalf("KeywordOwner(%q) = %v,%v want %v", kw.Text, id, ok, w.Topics[i].ID)
+			}
+		}
+	}
+	if _, ok := w.KeywordOwner("no such keyword zzz"); ok {
+		t.Error("lookup of unknown keyword succeeded")
+	}
+}
+
+func TestTopicURLs(t *testing.T) {
+	w := tinyWorld(t)
+	for i := range w.Topics {
+		tp := &w.Topics[i]
+		if tp.NumCoreURLs == 0 || len(tp.URLs) < tp.NumCoreURLs {
+			t.Errorf("topic %q has %d URLs, %d core", tp.Name, len(tp.URLs), tp.NumCoreURLs)
+		}
+		for _, u := range tp.URLs {
+			if strings.Contains(u, " ") || u == "" {
+				t.Errorf("topic %q has malformed URL %q", tp.Name, u)
+			}
+		}
+	}
+}
+
+func TestRelationsAreSane(t *testing.T) {
+	w := tinyWorld(t)
+	for i := range w.Topics {
+		tp := &w.Topics[i]
+		seen := map[TopicID]bool{}
+		for _, r := range tp.Related {
+			if r.ID == tp.ID {
+				t.Errorf("topic %q related to itself", tp.Name)
+			}
+			if int(r.ID) < 0 || int(r.ID) >= len(w.Topics) {
+				t.Errorf("topic %q has out-of-range relation %d", tp.Name, r.ID)
+			}
+			if r.Weight <= 0 || r.Weight > 1 {
+				t.Errorf("topic %q relation weight %v out of (0,1]", tp.Name, r.Weight)
+			}
+			if seen[r.ID] {
+				t.Errorf("topic %q has duplicate relation to %d", tp.Name, r.ID)
+			}
+			seen[r.ID] = true
+		}
+	}
+}
+
+func TestFig7ClusterWired(t *testing.T) {
+	w := tinyWorld(t)
+	id, ok := w.KeywordOwner("49ers")
+	if !ok {
+		t.Fatal("49ers topic missing")
+	}
+	topic := w.Topic(id)
+	wantRelated := map[string]bool{"san francisco": false, "sf gate": false, "colin kaepernick": false}
+	for _, r := range topic.Related {
+		name := w.Topic(r.ID).Name
+		if _, want := wantRelated[name]; want {
+			wantRelated[name] = true
+		}
+	}
+	for name, found := range wantRelated {
+		if !found {
+			t.Errorf("49ers not related to %q", name)
+		}
+	}
+}
+
+func TestExpertsOnEveryAnchor(t *testing.T) {
+	w := tinyWorld(t)
+	for i := range w.Topics {
+		if !w.Topics[i].Anchor {
+			continue
+		}
+		if len(w.ExpertsOn(w.Topics[i].ID)) < 4 {
+			t.Errorf("anchor %q has only %d experts", w.Topics[i].Name, len(w.ExpertsOn(w.Topics[i].ID)))
+		}
+	}
+}
+
+func TestExpertIndexConsistent(t *testing.T) {
+	w := tinyWorld(t)
+	for i := range w.Topics {
+		id := w.Topics[i].ID
+		for _, uid := range w.ExpertsOn(id) {
+			if !w.IsRelevantExpert(uid, id) {
+				t.Fatalf("user %d indexed as expert on %d but oracle disagrees", uid, id)
+			}
+		}
+	}
+}
+
+func TestCasualUsersNotExperts(t *testing.T) {
+	w := tinyWorld(t)
+	for i := range w.Users {
+		u := &w.Users[i]
+		if (u.Kind == CasualUser || u.Kind == SpamUser) && len(u.Topics) != 0 {
+			t.Errorf("%s user %q has expertise topics", u.Kind, u.ScreenName)
+		}
+	}
+}
+
+func TestScreenNamesUnique(t *testing.T) {
+	w := tinyWorld(t)
+	seen := map[string]bool{}
+	for i := range w.Users {
+		n := w.Users[i].ScreenName
+		if n == "" {
+			t.Fatal("empty screen name")
+		}
+		if seen[n] {
+			t.Fatalf("duplicate screen name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestFollowersPositive(t *testing.T) {
+	w := tinyWorld(t)
+	for i := range w.Users {
+		if w.Users[i].Followers <= 0 {
+			t.Errorf("user %q has %d followers", w.Users[i].ScreenName, w.Users[i].Followers)
+		}
+	}
+}
+
+func TestTopicsInCategoryOrdering(t *testing.T) {
+	w := tinyWorld(t)
+	for _, cat := range Categories() {
+		ids := w.TopicsInCategory(cat)
+		for _, id := range ids {
+			if w.Topic(id).Category != cat {
+				t.Fatalf("TopicsInCategory(%v) returned topic of category %v", cat, w.Topic(id).Category)
+			}
+		}
+		// Anchors first.
+		sawNonAnchor := false
+		for _, id := range ids {
+			if !w.Topic(id).Anchor {
+				sawNonAnchor = true
+			} else if sawNonAnchor {
+				t.Fatalf("anchor after non-anchor in category %v", cat)
+			}
+		}
+	}
+}
+
+func TestRelevantExpertRelatedTopics(t *testing.T) {
+	w := tinyWorld(t)
+	id49, _ := w.KeywordOwner("49ers")
+	idKap, _ := w.KeywordOwner("colin kaepernick")
+	// A Kaepernick expert is relevant for 49ers queries (weight 0.45 < 0.5 — not
+	// relevant) — check the oracle respects the 0.5 cutoff in both directions.
+	kapExperts := w.ExpertsOn(idKap)
+	if len(kapExperts) == 0 {
+		t.Fatal("no kaepernick experts")
+	}
+	// Build the set of topics that make a user relevant for 49ers:
+	// 49ers itself plus its >= 0.5-weight relations.
+	relevantTopics := map[TopicID]bool{id49: true}
+	for _, r := range w.Topic(id49).Related {
+		if r.Weight >= 0.5 {
+			relevantTopics[r.ID] = true
+		}
+	}
+	checked := 0
+	for _, uid := range kapExperts {
+		covered := false
+		for _, tp := range w.User(uid).Topics {
+			if relevantTopics[tp] {
+				covered = true
+			}
+		}
+		if covered {
+			continue // legitimately relevant through another topic
+		}
+		checked++
+		if w.IsRelevantExpert(uid, id49) {
+			t.Errorf("expert %d (kaepernick, weight 0.45 < 0.5) judged relevant for 49ers", uid)
+		}
+	}
+	if checked == 0 {
+		t.Skip("every kaepernick expert also covers a 49ers-relevant topic")
+	}
+	// nfl <-> 49ers has weight 0.5: NFL experts are relevant for 49ers.
+	idNFL, _ := w.KeywordOwner("nfl")
+	nflExperts := w.ExpertsOn(idNFL)
+	if len(nflExperts) == 0 {
+		t.Fatal("no nfl experts")
+	}
+	found := false
+	for _, uid := range nflExperts {
+		if w.IsRelevantExpert(uid, id49) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no NFL expert judged relevant for 49ers despite weight-0.5 relation")
+	}
+}
+
+func TestVocabularySorted(t *testing.T) {
+	w := tinyWorld(t)
+	v := w.Vocabulary()
+	if len(v) < 50 {
+		t.Fatalf("vocabulary too small: %d", len(v))
+	}
+	for i := 1; i < len(v); i++ {
+		if v[i-1] >= v[i] {
+			t.Fatalf("vocabulary not sorted/unique at %d: %q >= %q", i, v[i-1], v[i])
+		}
+	}
+}
+
+func TestDefaultConfigScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default world build skipped in -short")
+	}
+	w := Build(DefaultConfig())
+	if len(w.Topics) < 200 {
+		t.Errorf("default world has only %d topics", len(w.Topics))
+	}
+	if len(w.Vocabulary()) < 1500 {
+		t.Errorf("default world vocabulary only %d terms", len(w.Vocabulary()))
+	}
+	if len(w.Users) < 2500 {
+		t.Errorf("default world has only %d users", len(w.Users))
+	}
+}
+
+func TestSanitizeHost(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"san francisco", "san-francisco"},
+		{"49ers", "49ers"},
+		{"Dow Futures!", "dow-futures"},
+		{"", "site"},
+		{"***", "site"},
+	}
+	for _, c := range cases {
+		if got := sanitizeHost(c.in); got != c.want {
+			t.Errorf("sanitizeHost(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSanitizeHostProperty(t *testing.T) {
+	prop := func(s string) bool {
+		h := sanitizeHost(s)
+		if h == "" {
+			return false
+		}
+		for _, r := range h {
+			ok := (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '-'
+			if !ok {
+				return false
+			}
+		}
+		return !strings.HasPrefix(h, "-") && !strings.HasSuffix(h, "-")
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildTinyWorld(b *testing.B) {
+	cfg := TinyConfig()
+	for i := 0; i < b.N; i++ {
+		_ = Build(cfg)
+	}
+}
