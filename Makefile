@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The serving layer and the online detector are the concurrent
+# surfaces; hammer them with the race detector enabled.
+race:
+	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog
+
+vet:
+	$(GO) vet ./...
+
+# Hot-path and serving benchmarks; `make bench BENCH=.` runs everything.
+BENCH ?= Table9|ServeQPS|OnlineSearch
+bench:
+	$(GO) test -bench '$(BENCH)' -benchmem -run '^$$' .
+
+check: build vet test race

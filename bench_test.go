@@ -1,13 +1,15 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation section, plus the ablations called out in DESIGN.md.
-// Naming follows the paper: BenchmarkTable8AnsweredRate re-runs the
-// Table 8 experiment once per iteration, and so on. Reported custom
-// metrics carry the headline numbers (improvement, modularity, ...) so
+// evaluation section, plus ablations of the design decisions and the
+// BenchmarkServeQPS* serving-throughput suite. Naming follows the
+// paper: BenchmarkTable8AnsweredRate re-runs the Table 8 experiment
+// once per iteration, and so on. Reported custom metrics carry the
+// headline numbers (improvement, modularity, qps, ...) so
 // `go test -bench . -benchmem` doubles as a results summary.
 package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -19,6 +21,7 @@ import (
 	"repro/internal/expertise"
 	"repro/internal/querylog"
 	"repro/internal/relops"
+	"repro/internal/serve"
 	"repro/internal/simgraph"
 	"repro/internal/world"
 )
@@ -282,6 +285,59 @@ func BenchmarkAblationExpansionTerms(b *testing.B) {
 			b.ReportMetric(float64(n), "experts")
 		})
 	}
+}
+
+// --- Serving throughput (internal/serve) ---
+
+// serveQueryPool returns the load-generator query mix: every query of
+// every evaluation set, so the workload spans answered, expanded and
+// unanswerable queries alike.
+func serveQueryPool(s *benchState) []string {
+	var pool []string
+	for _, set := range s.sets {
+		pool = append(pool, set.Queries...)
+	}
+	return pool
+}
+
+// benchServeQPS drives one server configuration and reports achieved
+// QPS plus the cache hit rate. The server's detector runs with
+// MatchWorkers=1: the load generator supplies request-level
+// parallelism, so per-query fan-out would only oversubscribe.
+func benchServeQPS(b *testing.B, workers int, cfg serve.Config, warm bool) {
+	s := state(b)
+	pool := serveQueryPool(s)
+	online := s.pipe.Cfg.Online
+	online.MatchWorkers = 1
+	srv := serve.New(core.NewDetector(s.pipe.Collection, s.pipe.Corpus, online), cfg)
+	total := 2 * len(pool)
+	if warm {
+		// Prime the cache so the measured run is all hits.
+		serve.RunLoad(srv, serve.LoadConfig{Queries: pool, Total: len(pool), Workers: workers})
+	}
+	b.ResetTimer()
+	var res serve.LoadResult
+	for i := 0; i < b.N; i++ {
+		res = serve.RunLoad(srv, serve.LoadConfig{Queries: pool, Total: total, Workers: workers})
+	}
+	b.ReportMetric(res.QPS, "qps")
+	b.ReportMetric(float64(res.Stats.CacheHits)/float64(res.Queries), "hit-rate")
+}
+
+func BenchmarkServeQPSSequentialCold(b *testing.B) {
+	benchServeQPS(b, 1, serve.Config{CacheSize: 0}, false)
+}
+
+func BenchmarkServeQPSParallelCold(b *testing.B) {
+	benchServeQPS(b, runtime.GOMAXPROCS(0), serve.Config{CacheSize: 0}, false)
+}
+
+func BenchmarkServeQPSSequentialWarm(b *testing.B) {
+	benchServeQPS(b, 1, serve.DefaultConfig(), true)
+}
+
+func BenchmarkServeQPSParallelWarm(b *testing.B) {
+	benchServeQPS(b, runtime.GOMAXPROCS(0), serve.DefaultConfig(), true)
 }
 
 // --- Micro-benchmarks of the hot paths ---

@@ -3,12 +3,14 @@
 // Alonso — EDBT 2016).
 //
 // The library lives under internal/: the e# pipeline in internal/core,
-// one package per substrate (query-log synthesis, similarity graph,
-// relational engine, community detection, domain store, microblog
-// corpus, baseline detector, crowdsourcing simulation, experiment
-// harness). Executables are cmd/esharp and cmd/experiments; runnable
-// examples live in examples/. The benchmarks in bench_test.go
-// regenerate every table and figure of the paper's evaluation section;
-// see DESIGN.md for the experiment index and EXPERIMENTS.md for the
-// measured results.
+// the concurrent serving layer (query front-end, LRU result cache,
+// load generator) in internal/serve, and one package per substrate
+// (query-log synthesis, similarity graph, relational engine, community
+// detection, domain store, microblog corpus, baseline detector,
+// crowdsourcing simulation, experiment harness). Executables are
+// cmd/esharp and cmd/experiments; runnable examples live in examples/.
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation section and measure serving throughput
+// (BenchmarkServeQPS*); ROADMAP.md tracks the north star and open
+// items, and CHANGES.md records per-PR measurements.
 package repro

@@ -50,11 +50,16 @@ func DetectParallel(g *simgraph.IntGraph, opt Options) *Result {
 	}
 
 	prevCount := n
+	// Community degree sums, dense-indexed by label: labels start as
+	// vertex ids and only ever adopt other existing labels, so every
+	// label stays < n and the slice replaces a per-iteration map.
+	deg := make([]int64, n)
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
 		start := time.Now()
 
-		// Community degree sums.
-		deg := map[int32]int64{}
+		for i := range deg {
+			deg[i] = 0
+		}
 		for v := 0; v < n; v++ {
 			deg[labels[v]] += vdeg[v]
 		}

@@ -14,6 +14,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/community"
@@ -109,6 +112,12 @@ type OnlineConfig struct {
 	// Match selects the domain matching predicate. The default is the
 	// paper's conservative exact match; the relaxed modes are ablations.
 	Match domains.MatchMode
+	// MatchWorkers caps the per-term matching fan-out of Search. Zero
+	// means GOMAXPROCS; 1 forces sequential matching. Serving layers
+	// that already run many Search calls concurrently (internal/serve)
+	// should set 1: request-level parallelism saturates the cores, and
+	// per-query fan-out on top only adds scheduling overhead.
+	MatchWorkers int
 	// Expertise parameterizes the underlying Pal & Counts ranker.
 	Expertise expertise.Params
 }
@@ -130,6 +139,17 @@ type Detector struct {
 	corpus     *microblog.Corpus
 	base       *expertise.Detector
 	cfg        OnlineConfig
+	scratch    sync.Pool // of *searchScratch, reused across queries
+}
+
+// searchScratch holds the per-query buffers of the online stage: one
+// matched-tweet buffer per expansion term, the k-way merge frontier,
+// and the merged union. It is pooled so steady-state queries run
+// near-allocation-free.
+type searchScratch struct {
+	lists    [][]microblog.TweetID
+	frontier [][]microblog.TweetID
+	merged   []microblog.TweetID
 }
 
 // NewDetector wires the online stage.
@@ -137,12 +157,14 @@ func NewDetector(coll *domains.Collection, corpus *microblog.Corpus, cfg OnlineC
 	if cfg.MaxExpansionTerms <= 0 {
 		cfg.MaxExpansionTerms = 10
 	}
-	return &Detector{
+	d := &Detector{
 		collection: coll,
 		corpus:     corpus,
 		base:       expertise.New(corpus, cfg.Expertise),
 		cfg:        cfg,
 	}
+	d.scratch.New = func() any { return &searchScratch{} }
+	return d
 }
 
 // Collection returns the domain collection backing expansion.
@@ -173,8 +195,11 @@ type SearchTrace struct {
 	SearchDuration time.Duration
 }
 
-// Search runs the full e# online stage: expansion, per-term matching,
-// union, single ranking pass.
+// Search runs the full e# online stage: expansion, per-term matching
+// fanned out over parallel workers, a k-way merge union, and a single
+// ranking pass. It is safe for concurrent use; per-query buffers are
+// pooled, so steady-state queries allocate almost nothing beyond the
+// returned result slice.
 func (d *Detector) Search(query string) ([]expertise.Expert, SearchTrace) {
 	trace := SearchTrace{Query: query}
 
@@ -183,14 +208,48 @@ func (d *Detector) Search(query string) ([]expertise.Expert, SearchTrace) {
 	trace.ExpandDuration = time.Since(start)
 
 	start = time.Now()
-	lists := make([][]microblog.TweetID, 0, 1+len(trace.Expansion))
-	lists = append(lists, d.corpus.Match(query))
-	for _, term := range trace.Expansion {
-		lists = append(lists, d.corpus.Match(term))
+	s := d.scratch.Get().(*searchScratch)
+	nTerms := 1 + len(trace.Expansion)
+	for len(s.lists) < nTerms {
+		s.lists = append(s.lists, nil)
 	}
-	matched := expertise.UnionTweets(lists...)
-	trace.MatchedTweets = len(matched)
-	results := d.base.Rank(d.base.CandidatesFromTweets(matched))
+	lists := s.lists[:nTerms]
+	term := func(i int) string {
+		if i == 0 {
+			return query
+		}
+		return trace.Expansion[i-1]
+	}
+	maxWorkers := d.cfg.MatchWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if workers := min(nTerms, maxWorkers); workers > 1 && nTerms > 2 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= nTerms {
+						return
+					}
+					lists[i] = d.corpus.MatchAppend(term(i), lists[i])
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < nTerms; i++ {
+			lists[i] = d.corpus.MatchAppend(term(i), lists[i])
+		}
+	}
+	s.merged, s.frontier = expertise.MergeTweetsInto(s.merged, s.frontier, lists...)
+	trace.MatchedTweets = len(s.merged)
+	results := d.base.Rank(d.base.CandidatesFromTweets(s.merged))
+	d.scratch.Put(s)
 	trace.SearchDuration = time.Since(start)
 	return results, trace
 }

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+var fanoutQueries = []string{
+	"49ers", "49ers schedule", "diabetes", "nfl", "dow futures",
+	"sarah palin", "world war i", "coffee", "zzz-none",
+}
+
+// TestParallelFanOutMatchesSequential forces the matching fan-out onto
+// multiple workers (GOMAXPROCS may be 1 on CI) and checks that results
+// are identical to sequential matching, query by query.
+func TestParallelFanOutMatchesSequential(t *testing.T) {
+	p := tinyPipeline(t)
+	cfg := p.Cfg.Online
+	cfg.MatchWorkers = 4
+	par := NewDetector(p.Collection, p.Corpus, cfg)
+	cfg.MatchWorkers = 1
+	seq := NewDetector(p.Collection, p.Corpus, cfg)
+	for _, q := range fanoutQueries {
+		got, gotTrace := par.Search(q)
+		want, wantTrace := seq.Search(q)
+		if len(got) != len(want) {
+			t.Fatalf("query %q: parallel %d results, sequential %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %q rank %d: parallel %+v, sequential %+v", q, i, got[i], want[i])
+			}
+		}
+		if gotTrace.MatchedTweets != wantTrace.MatchedTweets {
+			t.Fatalf("query %q: parallel matched %d tweets, sequential %d",
+				q, gotTrace.MatchedTweets, wantTrace.MatchedTweets)
+		}
+	}
+}
+
+// TestDetectorConcurrentSearch hammers one detector (parallel fan-out
+// enabled) from many goroutines — run under the race detector by
+// `make race` — and checks every response against precomputed answers.
+func TestDetectorConcurrentSearch(t *testing.T) {
+	p := tinyPipeline(t)
+	cfg := p.Cfg.Online
+	cfg.MatchWorkers = 4
+	det := NewDetector(p.Collection, p.Corpus, cfg)
+	type answer struct {
+		users   []int32
+		matched int
+	}
+	want := make(map[string]answer, len(fanoutQueries))
+	for _, q := range fanoutQueries {
+		res, trace := det.Search(q)
+		a := answer{matched: trace.MatchedTweets}
+		for _, e := range res {
+			a.users = append(a.users, int32(e.User))
+		}
+		want[q] = a
+	}
+
+	const workers, rounds = 8, 50
+	errs := make(chan string, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				q := fanoutQueries[(w+i)%len(fanoutQueries)]
+				res, trace := det.Search(q)
+				exp := want[q]
+				if trace.MatchedTweets != exp.matched || len(res) != len(exp.users) {
+					errs <- "mismatch for " + q
+					return
+				}
+				for j, e := range res {
+					if int32(e.User) != exp.users[j] {
+						errs <- "user mismatch for " + q
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

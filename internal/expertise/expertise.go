@@ -18,6 +18,7 @@ package expertise
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/microblog"
 	"repro/internal/world"
@@ -87,10 +88,27 @@ type Expert struct {
 	OnTopicTweets int
 }
 
-// Detector ranks expert candidates over a corpus.
+// counters accumulates the per-user raw feature inputs for one query.
+type counters struct {
+	tweets, mentions, retweets, hashtagged int
+	seen                                   bool
+}
+
+// scratch is the reusable per-call arena of CandidatesFromTweets: a
+// dense counter table indexed by UserID plus the list of users actually
+// touched, so resets cost O(touched) instead of O(users).
+type scratch struct {
+	byUser  []counters
+	touched []world.UserID
+}
+
+// Detector ranks expert candidates over a corpus. It is safe for
+// concurrent use: the corpus is read-only and per-query scratch state
+// is pooled per goroutine.
 type Detector struct {
 	corpus *microblog.Corpus
 	params Params
+	pool   sync.Pool // of *scratch sized to the corpus's user count
 }
 
 // New builds a detector. Zero-valued weights are allowed (a feature can
@@ -103,7 +121,11 @@ func New(corpus *microblog.Corpus, params Params) *Detector {
 	if params.Epsilon <= 0 {
 		params.Epsilon = 1e-4
 	}
-	return &Detector{corpus: corpus, params: params}
+	d := &Detector{corpus: corpus, params: params}
+	d.pool.New = func() any {
+		return &scratch{byUser: make([]counters, corpus.NumUsers())}
+	}
+	return d
 }
 
 // Params returns the detector's configuration.
@@ -133,15 +155,21 @@ func (d *Detector) CandidatesFromTweets(matched []microblog.TweetID) []Expert {
 	if len(matched) == 0 {
 		return nil
 	}
-	type counters struct {
-		tweets, mentions, retweets, hashtagged int
-	}
-	byUser := map[world.UserID]*counters{}
+	s := d.pool.Get().(*scratch)
+	defer func() {
+		// O(touched) reset keeps the arena reusable without zeroing the
+		// whole user table.
+		for _, u := range s.touched {
+			s.byUser[u] = counters{}
+		}
+		s.touched = s.touched[:0]
+		d.pool.Put(s)
+	}()
 	get := func(u world.UserID) *counters {
-		c := byUser[u]
-		if c == nil {
-			c = &counters{}
-			byUser[u] = c
+		c := &s.byUser[u]
+		if !c.seen {
+			c.seen = true
+			s.touched = append(s.touched, u)
 		}
 		return c
 	}
@@ -158,8 +186,10 @@ func (d *Detector) CandidatesFromTweets(matched []microblog.TweetID) []Expert {
 			get(m).mentions++
 		}
 	}
-	out := make([]Expert, 0, len(byUser))
-	for u, c := range byUser {
+	sort.Slice(s.touched, func(i, j int) bool { return s.touched[i] < s.touched[j] })
+	out := make([]Expert, 0, len(s.touched))
+	for _, u := range s.touched {
+		c := &s.byUser[u]
 		e := Expert{User: u, OnTopicTweets: c.tweets}
 		if total := d.corpus.NumTweetsBy(u); total > 0 {
 			e.TS = float64(c.tweets) / float64(total)
@@ -179,7 +209,6 @@ func (d *Detector) CandidatesFromTweets(matched []microblog.TweetID) []Expert {
 		}
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
 	return out
 }
 
@@ -240,21 +269,20 @@ func (d *Detector) rank(candidates []Expert) []Expert {
 		scored = clusterFilter(scored)
 	}
 
-	// Threshold, sort, cap.
+	// Threshold, then select. When MaxResults caps the output, a bounded
+	// top-k heap avoids fully sorting the candidate pool; the ranking
+	// order (descending score, ties toward the smaller user id) is total,
+	// so the selection is bit-identical to sort-then-truncate.
 	kept := scored[:0]
 	for _, e := range scored {
 		if e.Score >= d.params.MinZScore {
 			kept = append(kept, e)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		if kept[i].Score != kept[j].Score {
-			return kept[i].Score > kept[j].Score
-		}
-		return kept[i].User < kept[j].User
-	})
-	if d.params.MaxResults > 0 && len(kept) > d.params.MaxResults {
-		kept = kept[:d.params.MaxResults]
+	if k := d.params.MaxResults; k > 0 && len(kept) > k {
+		kept = selectTopK(kept, k)
+	} else {
+		sort.Slice(kept, func(i, j int) bool { return rankedBefore(&kept[i], &kept[j]) })
 	}
 	out := make([]Expert, len(kept))
 	copy(out, kept)
@@ -262,6 +290,58 @@ func (d *Detector) rank(candidates []Expert) []Expert {
 		return nil
 	}
 	return out
+}
+
+// rankedBefore is the total ranking order: descending score, ties
+// broken toward the smaller user id.
+func rankedBefore(a, b *Expert) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.User < b.User
+}
+
+// selectTopK returns the k best experts of pool under rankedBefore, in
+// rank order, without sorting the whole pool. It maintains a size-k
+// heap whose root is the worst retained element; the final heap-sort
+// pass emits the survivors best-first. pool is reordered in place and
+// the result aliases its front.
+func selectTopK(pool []Expert, k int) []Expert {
+	h := pool[:k]
+	for i := k/2 - 1; i >= 0; i-- {
+		siftWorstDown(h, i)
+	}
+	for i := k; i < len(pool); i++ {
+		if rankedBefore(&pool[i], &h[0]) {
+			h[0] = pool[i]
+			siftWorstDown(h, 0)
+		}
+	}
+	for n := k - 1; n > 0; n-- {
+		h[0], h[n] = h[n], h[0]
+		siftWorstDown(h[:n], 0)
+	}
+	return h
+}
+
+// siftWorstDown restores the heap property (every parent ranks after
+// its children) below index i.
+func siftWorstDown(h []Expert, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		worst := l
+		if r := l + 1; r < len(h) && rankedBefore(&h[l], &h[r]) {
+			worst = r
+		}
+		if !rankedBefore(&h[i], &h[worst]) {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }
 
 // hasHashtag reports whether any token is a hashtag.
@@ -360,7 +440,9 @@ func clusterFilter(scored []Expert) []Expert {
 
 // UnionTweets merges several sorted matched-tweet id lists into one
 // sorted, duplicate-free list. It is the "union the results" step of
-// the e# online stage.
+// the e# online stage. The online hot path uses the buffer-reusing
+// MergeTweetsInto instead; this map-based form is kept as the
+// reference implementation the equivalence tests check against.
 func UnionTweets(lists ...[]microblog.TweetID) []microblog.TweetID {
 	seen := map[microblog.TweetID]bool{}
 	var out []microblog.TweetID
@@ -374,4 +456,77 @@ func UnionTweets(lists ...[]microblog.TweetID) []microblog.TweetID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// MergeTweets k-way merges ascending-sorted tweet id lists into one
+// sorted, duplicate-free list appended to dst (reusing its capacity,
+// discarding its contents). It produces exactly UnionTweets' output
+// without the per-id map. Hot-path callers should prefer
+// MergeTweetsInto, which also reuses the merge-frontier buffer.
+func MergeTweets(dst []microblog.TweetID, lists ...[]microblog.TweetID) []microblog.TweetID {
+	dst, _ = MergeTweetsInto(dst, nil, lists...)
+	return dst
+}
+
+// MergeTweetsInto is the scratch-reusing form of MergeTweets: frontier
+// is a reusable buffer for the merge's head table (its contents are
+// discarded, its capacity reused, and the possibly-grown buffer is
+// returned for the next call). The merge itself is a min-heap over the
+// list heads: ids come out ascending, so equal ids from different
+// lists arrive consecutively and deduplicate against the last emitted
+// id.
+func MergeTweetsInto(dst []microblog.TweetID, frontier [][]microblog.TweetID,
+	lists ...[]microblog.TweetID) ([]microblog.TweetID, [][]microblog.TweetID) {
+
+	dst = dst[:0]
+	// Drop empty lists; single-list unions degenerate to a copy.
+	heads := frontier[:0]
+	for _, l := range lists {
+		if len(l) > 0 {
+			heads = append(heads, l)
+		}
+	}
+	frontier = heads
+	switch len(heads) {
+	case 0:
+		return dst, frontier
+	case 1:
+		return append(dst, heads[0]...), frontier
+	}
+	// Min-heap over the first element of each remaining list.
+	less := func(a, b []microblog.TweetID) bool { return a[0] < b[0] }
+	sift := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(heads) {
+				return
+			}
+			min := l
+			if r := l + 1; r < len(heads) && less(heads[r], heads[l]) {
+				min = r
+			}
+			if !less(heads[min], heads[i]) {
+				return
+			}
+			heads[i], heads[min] = heads[min], heads[i]
+			i = min
+		}
+	}
+	for i := len(heads)/2 - 1; i >= 0; i-- {
+		sift(i)
+	}
+	for len(heads) > 0 {
+		id := heads[0][0]
+		if len(dst) == 0 || dst[len(dst)-1] != id {
+			dst = append(dst, id)
+		}
+		if rest := heads[0][1:]; len(rest) > 0 {
+			heads[0] = rest
+		} else {
+			heads[0] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+		sift(0)
+	}
+	return dst, frontier
 }

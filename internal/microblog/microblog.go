@@ -116,39 +116,120 @@ func (c *Corpus) NumMentionsOf(u world.UserID) int { return c.mentionsOf[u] }
 // NumRetweetsOf returns the total retweets the user's posts received.
 func (c *Corpus) NumRetweetsOf(u world.UserID) int { return c.retweetsOf[u] }
 
+// NumUsers returns the number of users in the generating world.
+func (c *Corpus) NumUsers() int { return len(c.tweetsBy) }
+
+// Postings returns the index-owned posting list for a single token:
+// the ids of all posts containing it, sorted ascending. The returned
+// slice aliases the index — callers must treat it as read-only. A nil
+// result means the token occurs in no post.
+func (c *Corpus) Postings(token string) []TweetID { return c.termIndex[token] }
+
 // Match returns the ids of all posts containing every token of the
 // query after lower-casing — the paper's default matching predicate.
 // Results are sorted ascending; nil means no match (or an empty query).
+// The returned slice is freshly allocated; allocation-sensitive callers
+// should use MatchAppend with a reused buffer instead.
 func (c *Corpus) Match(query string) []TweetID {
-	tokens := textutil.Tokenize(query)
-	if len(tokens) == 0 {
+	out := c.MatchAppend(query, nil)
+	if len(out) == 0 {
 		return nil
 	}
-	// Intersect posting lists, starting from the rarest token.
+	return out
+}
+
+// MatchAppend is the zero-copy core of Match: it writes the matching
+// tweet ids into buf (reusing its capacity, discarding its contents)
+// and returns the filled buffer. It allocates only when buf is too
+// small to hold the result.
+func (c *Corpus) MatchAppend(query string, buf []TweetID) []TweetID {
+	tokens := textutil.Tokenize(query)
+	if len(tokens) == 0 {
+		return buf[:0]
+	}
+	if len(tokens) == 1 {
+		// Single token: the posting list is index-owned, so hand the
+		// caller a copy written into their buffer.
+		return append(buf[:0], c.termIndex[tokens[0]]...)
+	}
 	postings := make([][]TweetID, len(tokens))
 	for i, tok := range tokens {
 		p, ok := c.termIndex[tok]
 		if !ok {
-			return nil
+			return buf[:0]
 		}
 		postings[i] = p
 	}
+	// Intersect starting from the rarest token: every later pass can
+	// only shrink the running result.
 	sort.Slice(postings, func(i, j int) bool { return len(postings[i]) < len(postings[j]) })
-	result := postings[0]
-	for _, p := range postings[1:] {
-		result = intersect(result, p)
-		if len(result) == 0 {
-			return nil
+	buf = IntersectInto(buf, postings[0], postings[1])
+	for _, p := range postings[2:] {
+		if len(buf) == 0 {
+			return buf
 		}
+		buf = IntersectInto(buf, buf, p)
 	}
-	// Copy so callers cannot mutate the index.
-	out := make([]TweetID, len(result))
-	copy(out, result)
-	return out
+	return buf
 }
 
-func intersect(a, b []TweetID) []TweetID {
-	var out []TweetID
+// gallopFrom returns the smallest index i >= lo with b[i] >= target,
+// probing exponentially before binary-searching the bracketed range.
+func gallopFrom(b []TweetID, lo int, target TweetID) int {
+	bound := 1
+	for lo+bound < len(b) && b[lo+bound] < target {
+		bound <<= 1
+	}
+	hi := lo + bound
+	if hi > len(b) {
+		hi = len(b)
+	}
+	lo += bound >> 1
+	// Binary search in (lo, hi].
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// IntersectInto writes the intersection of two ascending-sorted lists
+// into dst (reusing its capacity, discarding its contents) and returns
+// the filled buffer. When one list is much longer than the other it
+// gallops through the long list with exponential + binary search
+// instead of scanning linearly.
+//
+// dst may alias a or b: output position k is only written after at
+// least k+1 elements of each input have been consumed, so writes never
+// clobber unread input.
+func IntersectInto(dst, a, b []TweetID) []TweetID {
+	dst = dst[:0]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b) >= 16*len(a) {
+		// Gallop: for each element of the short list, leap to its
+		// position in the long one.
+		j := 0
+		for _, v := range a {
+			j = gallopFrom(b, j, v)
+			if j == len(b) {
+				break
+			}
+			if b[j] == v {
+				dst = append(dst, v)
+				j++
+			}
+		}
+		return dst
+	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -157,12 +238,12 @@ func intersect(a, b []TweetID) []TweetID {
 		case a[i] > b[j]:
 			j++
 		default:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		}
 	}
-	return out
+	return dst
 }
 
 // fillerWords pad posts with realistic chatter. They are chosen to be

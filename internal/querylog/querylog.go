@@ -155,17 +155,35 @@ func NewGenerator(w *world.World, cfg GenConfig) *Generator {
 	return g
 }
 
+// samplers bundles the weighted draws one event stream needs. Shard
+// goroutines get private clones (shared CDFs, independent RNG streams)
+// so concurrent generation never races on sampler state.
+type samplers struct {
+	topics   *xrand.Weighted
+	keywords []*xrand.Weighted
+}
+
+// shardSamplers clones the generator's samplers onto fresh RNG streams
+// split from the seed.
+func (g *Generator) shardSamplers() samplers {
+	kws := make([]*xrand.Weighted, len(g.kwSamplers))
+	for i, s := range g.kwSamplers {
+		kws[i] = s.Clone(g.rng.Split())
+	}
+	return samplers{topics: g.topicSampler.Clone(g.rng.Split()), keywords: kws}
+}
+
 // event samples one click event using the supplied RNG stream.
-func (g *Generator) event(rng *xrand.RNG, junkRng *xrand.RNG) (query, url string) {
+func (g *Generator) event(rng *xrand.RNG, junkRng *xrand.RNG, smp samplers) (query, url string) {
 	if rng.Bool(g.Cfg.JunkQueryRate) {
 		// Junk query: pronounceable nonsense clicking a random URL.
 		query = junkWord(junkRng)
 		url = xrand.Pick(rng, g.globalURLs)
 		return query, url
 	}
-	ti := g.topicSampler.Draw()
+	ti := smp.topics.Draw()
 	topic := &g.World.Topics[ti]
-	ki := g.kwSamplers[ti].Draw()
+	ki := smp.keywords[ti].Draw()
 	kw := &topic.Keywords[ki]
 	query = kw.Text
 
@@ -226,11 +244,12 @@ func (g *Generator) Generate(dir string) (Stats, error) {
 		}
 		rng := g.rng.Split()
 		junk := g.rng.Split()
+		smp := g.shardSamplers()
 		path := filepath.Join(dir, fmt.Sprintf("shard-%04d.log", s))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			n, err := g.writeShard(path, events, rng, junk)
+			n, err := g.writeShard(path, events, rng, junk, smp)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {
@@ -253,7 +272,7 @@ func (g *Generator) Generate(dir string) (Stats, error) {
 	}, nil
 }
 
-func (g *Generator) writeShard(path string, events int, rng, junk *xrand.RNG) (int64, error) {
+func (g *Generator) writeShard(path string, events int, rng, junk *xrand.RNG, smp samplers) (int64, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, fmt.Errorf("querylog: create shard: %w", err)
@@ -261,7 +280,7 @@ func (g *Generator) writeShard(path string, events int, rng, junk *xrand.RNG) (i
 	w := bufio.NewWriterSize(f, 1<<20)
 	var n int64
 	for i := 0; i < events; i++ {
-		q, u := g.event(rng, junk)
+		q, u := g.event(rng, junk, smp)
 		written, err := fmt.Fprintf(w, "%s\t%s\n", q, u)
 		if err != nil {
 			f.Close()
@@ -282,9 +301,12 @@ func (g *Generator) writeShard(path string, events int, rng, junk *xrand.RNG) (i
 func (g *Generator) GenerateRecords() []ClickRecord {
 	rng := g.rng.Split()
 	junk := g.rng.Split()
+	// The in-memory path draws from the generator's own sampler streams,
+	// preserving the exact event sequence of the seed implementation.
 	counts := make(map[[2]string]int)
+	smp := samplers{topics: g.topicSampler, keywords: g.kwSamplers}
 	for i := 0; i < g.Cfg.Events; i++ {
-		q, u := g.event(rng, junk)
+		q, u := g.event(rng, junk, smp)
 		counts[[2]string{q, u}]++
 	}
 	out := make([]ClickRecord, 0, len(counts))

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig parameterizes one load-generator run.
+type LoadConfig struct {
+	// Queries is the pool the generator cycles through (round-robin, so
+	// runs are deterministic and every query gets equal weight).
+	Queries []string
+	// Total is the number of requests to issue.
+	Total int
+	// Workers is the number of concurrent client goroutines. Zero or
+	// one means sequential.
+	Workers int
+	// BaselineEvery mixes a SearchBaseline request in every n-th
+	// request (zero means e# queries only), exercising both endpoints
+	// the way an A/B'd production front-end would.
+	BaselineEvery int
+}
+
+// LoadResult reports one load-generator run.
+type LoadResult struct {
+	Queries  int
+	Duration time.Duration
+	// QPS is Queries / Duration.
+	QPS float64
+	// Answered counts requests that returned at least one expert.
+	Answered int
+	// Stats is the server counter snapshot taken over the run.
+	Stats Stats
+}
+
+// RunLoad drives the server with cfg.Total requests spread over
+// cfg.Workers concurrent clients and reports throughput. Server
+// counters are reset at the start so Stats covers exactly this run.
+func RunLoad(s *Server, cfg LoadConfig) LoadResult {
+	if cfg.Total <= 0 || len(cfg.Queries) == 0 {
+		return LoadResult{}
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > cfg.Total {
+		workers = cfg.Total
+	}
+	s.ResetStats()
+
+	var answered atomic.Int64
+	run := func(i int) {
+		q := cfg.Queries[i%len(cfg.Queries)]
+		var experts int
+		if cfg.BaselineEvery > 0 && (i+1)%cfg.BaselineEvery == 0 {
+			experts = len(s.SearchBaseline(q))
+		} else {
+			experts = len(s.Search(q))
+		}
+		if experts > 0 {
+			answered.Add(1)
+		}
+	}
+
+	start := time.Now()
+	if workers == 1 {
+		for i := 0; i < cfg.Total; i++ {
+			run(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= cfg.Total {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	dur := time.Since(start)
+
+	return LoadResult{
+		Queries:  cfg.Total,
+		Duration: dur,
+		QPS:      float64(cfg.Total) / dur.Seconds(),
+		Answered: int(answered.Load()),
+		Stats:    s.Stats(),
+	}
+}

@@ -1,0 +1,182 @@
+// Package serve is the online serving layer of the reproduction: a
+// concurrent query front-end over a shared, immutable e# pipeline. The
+// paper's deployment answers expert queries from production web-search
+// traffic; this package models that stage so the serving throughput of
+// the online hot path (expansion → matching → union → ranking) can be
+// measured and improved PR over PR.
+//
+// A Server multiplexes concurrent Search and SearchBaseline requests
+// over one core.Detector — safe because the corpus, domain collection
+// and detector are all read-only after construction — and fronts them
+// with an LRU result cache keyed on the normalized query text (repeat
+// queries dominate real search traffic, so the paper's latency budget
+// is really about cache misses). Build the detector with
+// core.OnlineConfig.MatchWorkers = 1 when serving concurrently:
+// request-level parallelism already saturates the cores, and per-query
+// matching fan-out on top only adds scheduling overhead. The companion load generator in
+// loadgen.go drives a Server at a configurable concurrency and reports
+// throughput, feeding the BenchmarkServeQPS* suite.
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/expertise"
+	"repro/internal/textutil"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheSize is the maximum number of cached query results across
+	// both endpoints. Zero disables caching entirely.
+	CacheSize int
+}
+
+// DefaultConfig returns the serving defaults.
+func DefaultConfig() Config { return Config{CacheSize: 4096} }
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	// Queries is the total number of requests served.
+	Queries int64
+	// CacheHits and CacheMisses split Queries by cache outcome. With
+	// caching disabled every query is a miss.
+	CacheHits, CacheMisses int64
+	// CacheEntries is the current number of cached results.
+	CacheEntries int
+}
+
+// cacheKey distinguishes the two endpoints for one normalized query.
+type cacheKey struct {
+	query    string
+	baseline bool
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key     cacheKey
+	experts []expertise.Expert
+}
+
+// Server answers concurrent expert-search requests over a shared
+// pipeline. All methods are safe for concurrent use.
+type Server struct {
+	det *core.Detector
+	cfg Config
+
+	queries, hits, misses atomic.Int64
+
+	// mu guards the LRU structures only; detector calls run outside the
+	// lock, so two concurrent misses on the same cold query may both
+	// compute it (the second insert wins — results are deterministic, so
+	// either value is correct).
+	mu    sync.Mutex
+	order *list.List // front = most recently used; values are *cacheEntry
+	slots map[cacheKey]*list.Element
+}
+
+// New wires a server over an online detector.
+func New(det *core.Detector, cfg Config) *Server {
+	s := &Server{det: det, cfg: cfg}
+	if cfg.CacheSize > 0 {
+		s.order = list.New()
+		s.slots = make(map[cacheKey]*list.Element, cfg.CacheSize)
+	}
+	return s
+}
+
+// Detector returns the underlying online detector.
+func (s *Server) Detector() *core.Detector { return s.det }
+
+// Search answers one e# query. The returned slice may be shared with
+// the cache and other callers — treat it as read-only.
+func (s *Server) Search(query string) []expertise.Expert {
+	return s.serve(query, false)
+}
+
+// SearchBaseline answers one unexpanded Pal & Counts baseline query.
+// The returned slice may be shared — treat it as read-only.
+func (s *Server) SearchBaseline(query string) []expertise.Expert {
+	return s.serve(query, true)
+}
+
+func (s *Server) serve(query string, baseline bool) []expertise.Expert {
+	s.queries.Add(1)
+	key := cacheKey{query: textutil.Normalize(query), baseline: baseline}
+	if experts, ok := s.lookup(key); ok {
+		s.hits.Add(1)
+		return experts
+	}
+	s.misses.Add(1)
+	var experts []expertise.Expert
+	if baseline {
+		experts = s.det.SearchBaseline(key.query)
+	} else {
+		experts, _ = s.det.Search(key.query)
+	}
+	s.insert(key, experts)
+	return experts
+}
+
+// lookup fetches a cached result and marks it most recently used.
+func (s *Server) lookup(key cacheKey) ([]expertise.Expert, bool) {
+	if s.slots == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.slots[key]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).experts, true
+}
+
+// insert stores a result, evicting the least recently used entry when
+// the cache is full.
+func (s *Server) insert(key cacheKey, experts []expertise.Expert) {
+	if s.slots == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.slots[key]; ok {
+		// A concurrent miss on the same query filled the slot first;
+		// refresh it and keep a single entry.
+		el.Value.(*cacheEntry).experts = experts
+		s.order.MoveToFront(el)
+		return
+	}
+	s.slots[key] = s.order.PushFront(&cacheEntry{key: key, experts: experts})
+	if s.order.Len() > s.cfg.CacheSize {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.slots, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// ResetStats zeroes the counters (the cache contents are kept).
+func (s *Server) ResetStats() {
+	s.queries.Store(0)
+	s.hits.Store(0)
+	s.misses.Store(0)
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Queries:     s.queries.Load(),
+		CacheHits:   s.hits.Load(),
+		CacheMisses: s.misses.Load(),
+	}
+	if s.slots != nil {
+		s.mu.Lock()
+		st.CacheEntries = s.order.Len()
+		s.mu.Unlock()
+	}
+	return st
+}

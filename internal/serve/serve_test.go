@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expertise"
+)
+
+var (
+	pipeOnce sync.Once
+	pipe     *core.Pipeline
+	pipeErr  error
+)
+
+func testPipeline(t testing.TB) *core.Pipeline {
+	t.Helper()
+	pipeOnce.Do(func() {
+		pipe, pipeErr = core.BuildPipeline(core.TinyPipelineConfig())
+	})
+	if pipeErr != nil {
+		t.Fatal(pipeErr)
+	}
+	return pipe
+}
+
+func sameExperts(a, b []expertise.Expert) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServerConcurrentMixedQueries hammers one server with many
+// goroutines issuing interleaved e# and baseline queries (run under
+// `go test -race` by `make race`) and checks every response against
+// the single-threaded detector.
+func TestServerConcurrentMixedQueries(t *testing.T) {
+	p := testPipeline(t)
+	queries := []string{"49ers", "diabetes", "nfl", "dow futures", "coffee", "sarah palin", "zzz-none"}
+	wantES := make(map[string][]expertise.Expert, len(queries))
+	wantBase := make(map[string][]expertise.Expert, len(queries))
+	for _, q := range queries {
+		wantES[q], _ = p.Detector.Search(q)
+		wantBase[q] = p.Detector.SearchBaseline(q)
+	}
+
+	s := New(p.Detector, Config{CacheSize: 4}) // small cache => constant churn
+	const workers, perWorker = 8, 150
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				q := queries[(w+i)%len(queries)]
+				if (w+i)%3 == 0 {
+					if got := s.SearchBaseline(q); !sameExperts(got, wantBase[q]) {
+						errs <- errMismatchf(q, "baseline")
+						return
+					}
+				} else {
+					if got := s.Search(q); !sameExperts(got, wantES[q]) {
+						errs <- errMismatchf(q, "esharp")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.Queries != workers*perWorker {
+		t.Fatalf("served %d queries, want %d", st.Queries, workers*perWorker)
+	}
+	if st.CacheHits+st.CacheMisses != st.Queries {
+		t.Fatalf("hits %d + misses %d != queries %d", st.CacheHits, st.CacheMisses, st.Queries)
+	}
+	if st.CacheEntries > 4 {
+		t.Fatalf("cache holds %d entries, cap is 4", st.CacheEntries)
+	}
+}
+
+type errMismatch string
+
+func (e errMismatch) Error() string { return string(e) }
+
+func errMismatchf(q, kind string) error { return errMismatch(kind + " result mismatch for " + q) }
+
+// TestCacheHitsAndEviction pins the LRU mechanics: repeats hit, the
+// least recently used entry is the one evicted, and the two endpoints
+// never share entries.
+func TestCacheHitsAndEviction(t *testing.T) {
+	p := testPipeline(t)
+	s := New(p.Detector, Config{CacheSize: 2})
+
+	s.Search("49ers")   // miss -> cached
+	s.Search("49ers")   // hit
+	s.Search("  49ERS") // hit: keys are normalized
+	if st := s.Stats(); st.CacheHits != 2 || st.CacheMisses != 1 {
+		t.Fatalf("after repeats: %+v", st)
+	}
+
+	s.SearchBaseline("49ers") // miss: baseline results cache separately
+	if st := s.Stats(); st.CacheMisses != 2 {
+		t.Fatalf("baseline should not share the e# entry: %+v", st)
+	}
+
+	// Touch the e# entry, then insert a third key: the baseline entry
+	// (now LRU) must be the one evicted.
+	s.Search("49ers")
+	s.Search("diabetes")
+	if st := s.Stats(); st.CacheEntries != 2 {
+		t.Fatalf("cache should stay at cap: %+v", st)
+	}
+	before := s.Stats().CacheMisses
+	s.Search("49ers") // still cached
+	if got := s.Stats().CacheMisses; got != before {
+		t.Fatal("recently used e# entry was evicted")
+	}
+	s.SearchBaseline("49ers") // evicted -> miss again
+	if got := s.Stats().CacheMisses; got != before+1 {
+		t.Fatal("LRU baseline entry should have been evicted")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	p := testPipeline(t)
+	s := New(p.Detector, Config{CacheSize: 0})
+	for i := 0; i < 3; i++ {
+		s.Search("49ers")
+	}
+	st := s.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 3 || st.CacheEntries != 0 {
+		t.Fatalf("disabled cache should be all-miss: %+v", st)
+	}
+}
+
+// TestRunLoadParallelMatchesSequential checks the load generator's
+// accounting: the same workload answered sequentially and in parallel
+// reports identical Answered counts and consistent counters.
+func TestRunLoadParallelMatchesSequential(t *testing.T) {
+	p := testPipeline(t)
+	queries := []string{"49ers", "diabetes", "nfl", "zzz-none"}
+	seqRes := RunLoad(New(p.Detector, DefaultConfig()),
+		LoadConfig{Queries: queries, Total: 40, Workers: 1, BaselineEvery: 4})
+	parRes := RunLoad(New(p.Detector, DefaultConfig()),
+		LoadConfig{Queries: queries, Total: 40, Workers: 8, BaselineEvery: 4})
+	if seqRes.Answered != parRes.Answered {
+		t.Fatalf("answered: sequential %d, parallel %d", seqRes.Answered, parRes.Answered)
+	}
+	for _, res := range []LoadResult{seqRes, parRes} {
+		if res.Queries != 40 || res.Stats.Queries != 40 {
+			t.Fatalf("bad accounting: %+v", res)
+		}
+		if res.Stats.CacheHits+res.Stats.CacheMisses != 40 {
+			t.Fatalf("hit/miss counters inconsistent: %+v", res.Stats)
+		}
+		if res.QPS <= 0 {
+			t.Fatalf("non-positive QPS: %+v", res)
+		}
+	}
+	if RunLoad(New(p.Detector, DefaultConfig()), LoadConfig{}).Queries != 0 {
+		t.Fatal("empty load should be a no-op")
+	}
+}

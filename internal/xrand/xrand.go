@@ -214,6 +214,13 @@ func NewWeighted(rng *RNG, weights []float64) *Weighted {
 	return &Weighted{cdf: cdf, rng: rng}
 }
 
+// Clone returns a sampler over the same precomputed CDF driven by an
+// independent RNG stream. It exists so concurrent generators can share
+// one weight table without racing on the sampler's RNG state.
+func (w *Weighted) Clone(rng *RNG) *Weighted {
+	return &Weighted{cdf: w.cdf, rng: rng}
+}
+
 // Draw returns the next sampled index.
 func (w *Weighted) Draw() int {
 	u := w.rng.Float64()
