@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet bench cover check
 
 all: check
 
@@ -10,17 +10,26 @@ build:
 test:
 	$(GO) test ./...
 
-# The serving layer and the online detector are the concurrent
-# surfaces; hammer them with the race detector enabled.
+# The serving layer, the online detectors and the streaming index are
+# the concurrent surfaces; hammer them with the race detector enabled.
 race:
-	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog
+	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog ./internal/ingest
 
 vet:
 	$(GO) vet ./...
 
-# Hot-path and serving benchmarks; `make bench BENCH=.` runs everything.
+# Hot-path and serving benchmarks; `make bench BENCH=.` runs everything
+# in the root package. Streaming benchmarks live in internal/ingest.
 BENCH ?= Table9|ServeQPS|OnlineSearch
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -run '^$$' .
+
+bench-ingest:
+	$(GO) test -bench 'Ingest|LiveSearch' -benchmem -run '^$$' ./internal/ingest
+
+# Coverage over the library packages, with a one-line total summary.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 check: build vet test race

@@ -2,15 +2,22 @@
 // Expertise Detection from Microblogs" (Sellam, Hentschel, Kandylas,
 // Alonso — EDBT 2016).
 //
-// The library lives under internal/: the e# pipeline in internal/core,
-// the concurrent serving layer (query front-end, LRU result cache,
-// load generator) in internal/serve, and one package per substrate
-// (query-log synthesis, similarity graph, relational engine, community
-// detection, domain store, microblog corpus, baseline detector,
-// crowdsourcing simulation, experiment harness). Executables are
-// cmd/esharp and cmd/experiments; runnable examples live in examples/.
-// The benchmarks in bench_test.go regenerate every table and figure of
-// the paper's evaluation section and measure serving throughput
-// (BenchmarkServeQPS*); ROADMAP.md tracks the north star and open
-// items, and CHANGES.md records per-PR measurements.
+// The library lives under internal/: the e# pipeline in internal/core
+// (frozen Detector and streaming LiveDetector), the live ingestion
+// subsystem in internal/ingest (segmented streaming index: sealed
+// corpus-backed segments, background compaction, epoch-tagged atomic
+// snapshots), the concurrent serving layer in internal/serve (query
+// front-end, epoch-invalidated LRU result cache with in-flight
+// coalescing, read-only and mixed read/write load generators), and one
+// package per substrate (query-log synthesis, similarity graph,
+// relational engine, community detection, domain store, microblog
+// corpus, baseline detector, crowdsourcing simulation, experiment
+// harness). Executables are cmd/esharp and cmd/experiments; runnable
+// examples live in examples/ (examples/streaming drives live ingestion
+// under concurrent search). The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation section and measure
+// serving throughput (BenchmarkServeQPS*); internal/ingest adds
+// BenchmarkIngest* and BenchmarkLiveSearch* for the streaming path.
+// ROADMAP.md tracks the north star and open items, and CHANGES.md
+// records per-PR measurements.
 package repro

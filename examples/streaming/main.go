@@ -1,0 +1,99 @@
+// Streaming: drive the live ingestion subsystem the way the paper's
+// deployment would — tweets keep arriving while expert queries keep
+// being answered. It builds the miniature pipeline, wraps the corpus
+// in a streaming index (internal/ingest) behind a live detector and an
+// epoch-aware caching server, replays a mixed read/write workload, and
+// finally quiesces and spot-checks that the live index agrees with a
+// cold detector rebuilt over the same posts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/ingest"
+	"repro/internal/microblog"
+	"repro/internal/serve"
+)
+
+func main() {
+	pipeline, err := core.BuildPipeline(core.TinyPipelineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sets := eval.BuildQuerySets(pipeline.World, pipeline.Log,
+		eval.SetSizes{PerCategory: 25, Top: 60})
+	var pool []string
+	for _, set := range sets {
+		pool = append(pool, set.Queries...)
+	}
+
+	idx := ingest.New(pipeline.Corpus, ingest.Config{SealThreshold: 128, CompactFanIn: 4})
+	defer idx.Close()
+	online := pipeline.Cfg.Online
+	online.MatchWorkers = 1 // request-level concurrency supplies the parallelism
+	live := core.NewLiveDetector(pipeline.Collection, idx, online)
+	srv := serve.New(live, serve.DefaultConfig())
+
+	fmt.Printf("live index over %d base tweets, %d domains; workload of %d distinct queries\n\n",
+		pipeline.Corpus.NumTweets(), pipeline.Collection.NumDomains(), len(pool))
+
+	const spot = "49ers"
+	before := srv.Search(spot)
+	fmt.Printf("epoch %-4d  %q -> %d experts (pre-ingest)\n", live.Epoch(), spot, len(before))
+
+	workers := runtime.GOMAXPROCS(0)
+	res := serve.RunMixedLoad(srv, idx, serve.MixedLoadConfig{
+		Queries:       pool,
+		Searches:      4 * len(pool),
+		SearchWorkers: workers,
+		Ingests:       1500,
+		IngestWorkers: 2,
+		BaselineEvery: 5,
+		Seed:          23,
+	})
+	st := idx.Stats()
+	fmt.Printf("\nmixed load: %d searches (%.0f qps) alongside %d ingests (%.0f posts/s) in %v\n",
+		res.Searches, res.SearchQPS, res.Ingested, res.IngestPerSec, res.Duration.Round(0))
+	fmt.Printf("epochs %d -> %d; %d seals, %d compactions, %d sealed segments (+%d-tweet tail)\n",
+		res.StartEpoch, res.EndEpoch, st.Seals, st.Compactions, st.Segments, st.ActiveLen)
+	fmt.Printf("cache: hits=%d misses=%d coalesced=%d invalidations=%d\n",
+		res.Stats.CacheHits, res.Stats.CacheMisses, res.Stats.Coalesced, res.Stats.Invalidations)
+
+	after := srv.Search(spot)
+	fmt.Printf("\nepoch %-4d  %q -> %d experts (post-ingest)\n", live.Epoch(), spot, len(after))
+
+	// Quiesce and verify: the live index must agree with a cold
+	// detector over base + everything that was ingested.
+	idx.Quiesce()
+	snap := idx.Snapshot()
+	all := append([]microblog.Tweet(nil), pipeline.Corpus.Tweets()...)
+	for gid := pipeline.Corpus.NumTweets(); gid < snap.NumTweets(); gid++ {
+		all = append(all, *snap.Tweet(microblog.TweetID(gid)))
+	}
+	cold := core.NewDetector(pipeline.Collection, microblog.FromTweets(pipeline.World, all), online)
+	mismatches := 0
+	for _, q := range pool {
+		liveRes, _ := live.Search(q)
+		coldRes, _ := cold.Search(q)
+		if len(liveRes) != len(coldRes) {
+			mismatches++
+			continue
+		}
+		for i := range coldRes {
+			if liveRes[i] != coldRes[i] {
+				mismatches++
+				break
+			}
+		}
+	}
+	fmt.Printf("quiesced equivalence over %d queries: %d mismatches vs cold rebuild\n",
+		len(pool), mismatches)
+	if len(after) > 0 {
+		fmt.Printf("top %q expert: @%s\n", spot,
+			pipeline.World.User(after[0].User).ScreenName)
+	}
+}

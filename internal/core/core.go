@@ -10,6 +10,14 @@
 // lower-casing", runs the base expert search once per related term,
 // unions the matched tweets and ranks the pooled candidates once — the
 // two-phase architecture of Figure 1.
+//
+// The online stage comes in two flavours over the same algorithm:
+// Detector searches a frozen corpus, while LiveDetector (live.go)
+// searches the streaming index of internal/ingest — each query runs
+// against one epoch-tagged snapshot (base corpus + sealed segments +
+// active tail) acquired with a single atomic load, so tweets keep
+// arriving while searches run. A quiesced live index ranks
+// bit-identically to a cold Detector over the same posts.
 package core
 
 import (
@@ -176,6 +184,11 @@ func (d *Detector) Corpus() *microblog.Corpus { return d.corpus }
 // Base returns the underlying baseline detector.
 func (d *Detector) Base() *expertise.Detector { return d.base }
 
+// Epoch returns 0: a frozen index has a single, eternal view, so
+// results cached against it never go stale (see internal/serve's
+// epoch-keyed invalidation and LiveDetector.Epoch).
+func (d *Detector) Epoch() uint64 { return 0 }
+
 // Expand returns the expansion terms for a query (excluding the query
 // itself). Empty means the query matched no domain or an orphan.
 func (d *Detector) Expand(query string) []string {
@@ -220,32 +233,9 @@ func (d *Detector) Search(query string) ([]expertise.Expert, SearchTrace) {
 		}
 		return trace.Expansion[i-1]
 	}
-	maxWorkers := d.cfg.MatchWorkers
-	if maxWorkers <= 0 {
-		maxWorkers = runtime.GOMAXPROCS(0)
-	}
-	if workers := min(nTerms, maxWorkers); workers > 1 && nTerms > 2 {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= nTerms {
-						return
-					}
-					lists[i] = d.corpus.MatchAppend(term(i), lists[i])
-				}
-			}()
-		}
-		wg.Wait()
-	} else {
-		for i := 0; i < nTerms; i++ {
-			lists[i] = d.corpus.MatchAppend(term(i), lists[i])
-		}
-	}
+	matchFanOut(nTerms, d.cfg.MatchWorkers, func(i int) {
+		lists[i] = d.corpus.MatchAppend(term(i), lists[i])
+	})
 	s.merged, s.frontier = expertise.MergeTweetsInto(s.merged, s.frontier, lists...)
 	trace.MatchedTweets = len(s.merged)
 	results := d.base.Rank(d.base.CandidatesFromTweets(s.merged))
@@ -257,6 +247,41 @@ func (d *Detector) Search(query string) ([]expertise.Expert, SearchTrace) {
 // SearchBaseline runs the unexpanded Pal & Counts baseline.
 func (d *Detector) SearchBaseline(query string) []expertise.Expert {
 	return d.base.Search(query)
+}
+
+// matchFanOut runs matchTerm(i) for every i in [0, nTerms), spread
+// over up to maxWorkers goroutines pulling term indices from a shared
+// counter (maxWorkers <= 0 means GOMAXPROCS). Short queries (one term,
+// or two with nothing to amortize the goroutine cost over) run
+// sequentially. Shared by the frozen and live search paths so their
+// parallelism heuristics cannot drift apart.
+func matchFanOut(nTerms, maxWorkers int, matchTerm func(i int)) {
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	workers := min(nTerms, maxWorkers)
+	if workers <= 1 || nTerms <= 2 {
+		for i := 0; i < nTerms; i++ {
+			matchTerm(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nTerms {
+					return
+				}
+				matchTerm(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // PipelineConfig configures an end-to-end build from a synthetic world.

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/domains"
+	"repro/internal/expertise"
+	"repro/internal/ingest"
+	"repro/internal/microblog"
+)
+
+// LiveDetector is the online e# engine over a streaming index: the
+// same two-phase architecture as Detector — expansion, per-term
+// matching fanned out over workers, k-way merge union, one ranking
+// pass — but every query runs against a single epoch-tagged snapshot
+// acquired with one atomic load, so concurrent ingestion, sealing and
+// compaction never perturb an in-flight query. A live index that has
+// quiesced ranks bit-identically to a cold Detector built over the
+// same posts (the ingest equivalence tests enforce this).
+type LiveDetector struct {
+	collection *domains.Collection
+	index      *ingest.Index
+	ranker     *expertise.Ranker
+	cfg        OnlineConfig
+	scratch    sync.Pool // of *liveScratch, reused across queries
+}
+
+// liveScratch holds the per-query buffers of the live online stage:
+// one matched-tweet buffer and one segment-local scratch per expansion
+// term, the k-way merge frontier, and the merged union.
+type liveScratch struct {
+	lists    [][]microblog.TweetID
+	locals   [][]microblog.TweetID
+	frontier [][]microblog.TweetID
+	merged   []microblog.TweetID
+}
+
+// NewLiveDetector wires the online stage over a streaming index.
+func NewLiveDetector(coll *domains.Collection, idx *ingest.Index, cfg OnlineConfig) *LiveDetector {
+	if cfg.MaxExpansionTerms <= 0 {
+		cfg.MaxExpansionTerms = 10
+	}
+	d := &LiveDetector{
+		collection: coll,
+		index:      idx,
+		ranker:     expertise.NewRanker(idx.Base().NumUsers(), cfg.Expertise),
+		cfg:        cfg,
+	}
+	d.scratch.New = func() any { return &liveScratch{} }
+	return d
+}
+
+// Collection returns the domain collection backing expansion.
+func (d *LiveDetector) Collection() *domains.Collection { return d.collection }
+
+// Index returns the streaming index being searched.
+func (d *LiveDetector) Index() *ingest.Index { return d.index }
+
+// Epoch returns the epoch of the view the next query would observe.
+// Serving layers key cache validity on it: a snapshot swap bumps the
+// epoch, invalidating results computed over the older view.
+func (d *LiveDetector) Epoch() uint64 { return d.index.Epoch() }
+
+// Expand returns the expansion terms for a query (excluding the query
+// itself).
+func (d *LiveDetector) Expand(query string) []string {
+	return d.collection.ExpandMode(query, d.cfg.MaxExpansionTerms, d.cfg.Match)
+}
+
+// Search runs the full e# online stage against the current snapshot.
+// Safe for concurrent use with ingestion and compaction.
+func (d *LiveDetector) Search(query string) ([]expertise.Expert, SearchTrace) {
+	trace := SearchTrace{Query: query}
+
+	start := time.Now()
+	trace.Expansion = d.Expand(query)
+	trace.ExpandDuration = time.Since(start)
+
+	start = time.Now()
+	snap := d.index.Snapshot()
+	s := d.scratch.Get().(*liveScratch)
+	nTerms := 1 + len(trace.Expansion)
+	for len(s.lists) < nTerms {
+		s.lists = append(s.lists, nil)
+		s.locals = append(s.locals, nil)
+	}
+	lists := s.lists[:nTerms]
+	locals := s.locals[:nTerms]
+	term := func(i int) string {
+		if i == 0 {
+			return query
+		}
+		return trace.Expansion[i-1]
+	}
+	matchFanOut(nTerms, d.cfg.MatchWorkers, func(i int) {
+		lists[i], locals[i] = snap.MatchAppendScratch(term(i), lists[i], locals[i])
+	})
+	s.merged, s.frontier = expertise.MergeTweetsInto(s.merged, s.frontier, lists...)
+	trace.MatchedTweets = len(s.merged)
+	results := d.ranker.Rank(d.ranker.CandidatesFrom(snap, s.merged))
+	d.scratch.Put(s)
+	trace.SearchDuration = time.Since(start)
+	return results, trace
+}
+
+// SearchBaseline runs the unexpanded Pal & Counts baseline against the
+// current snapshot.
+func (d *LiveDetector) SearchBaseline(query string) []expertise.Expert {
+	snap := d.index.Snapshot()
+	s := d.scratch.Get().(*liveScratch)
+	if len(s.lists) == 0 {
+		s.lists = append(s.lists, nil)
+		s.locals = append(s.locals, nil)
+	}
+	s.lists[0], s.locals[0] = snap.MatchAppendScratch(query, s.lists[0], s.locals[0])
+	results := d.ranker.Rank(d.ranker.CandidatesFrom(snap, s.lists[0]))
+	d.scratch.Put(s)
+	return results
+}

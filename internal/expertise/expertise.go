@@ -94,26 +94,43 @@ type counters struct {
 	seen                                   bool
 }
 
-// scratch is the reusable per-call arena of CandidatesFromTweets: a
-// dense counter table indexed by UserID plus the list of users actually
+// scratch is the reusable per-call arena of CandidatesFrom: a dense
+// counter table indexed by UserID plus the list of users actually
 // touched, so resets cost O(touched) instead of O(users).
 type scratch struct {
 	byUser  []counters
 	touched []world.UserID
 }
 
-// Detector ranks expert candidates over a corpus. It is safe for
-// concurrent use: the corpus is read-only and per-query scratch state
-// is pooled per goroutine.
-type Detector struct {
-	corpus *microblog.Corpus
-	params Params
-	pool   sync.Pool // of *scratch sized to the corpus's user count
+// Source is the read-only index view candidate extraction runs
+// against: per-tweet content plus the per-user denominators of the
+// three ranking features. A frozen *microblog.Corpus satisfies it
+// directly; a live multi-segment snapshot (internal/ingest) satisfies
+// it by summing base, sealed-segment and active-tail counters — the
+// cross-segment ranking path of the streaming index.
+type Source interface {
+	Tweet(id microblog.TweetID) *microblog.Tweet
+	NumTweetsBy(u world.UserID) int
+	NumMentionsOf(u world.UserID) int
+	NumRetweetsOf(u world.UserID) int
+	NumUsers() int
+	World() *world.World
 }
 
-// New builds a detector. Zero-valued weights are allowed (a feature can
-// be ablated away); if all three are zero the defaults are restored.
-func New(corpus *microblog.Corpus, params Params) *Detector {
+// Ranker is the source-independent scoring core: candidate extraction
+// and ranking under one parameter set, with a pooled per-query arena.
+// One Ranker serves any number of Sources over the same user universe
+// (the live index passes a fresh snapshot per query), so it is the
+// piece Detector and the streaming path share. Safe for concurrent use.
+type Ranker struct {
+	params Params
+	pool   sync.Pool // of *scratch sized to the user universe
+}
+
+// NewRanker builds a ranker for a universe of numUsers users.
+// Zero-valued weights are allowed (a feature can be ablated away); if
+// all three are zero the defaults are restored.
+func NewRanker(numUsers int, params Params) *Ranker {
 	if params.WeightTS == 0 && params.WeightMI == 0 && params.WeightRI == 0 {
 		d := DefaultParams()
 		params.WeightTS, params.WeightMI, params.WeightRI = d.WeightTS, d.WeightMI, d.WeightRI
@@ -121,22 +138,42 @@ func New(corpus *microblog.Corpus, params Params) *Detector {
 	if params.Epsilon <= 0 {
 		params.Epsilon = 1e-4
 	}
-	d := &Detector{corpus: corpus, params: params}
-	d.pool.New = func() any {
-		return &scratch{byUser: make([]counters, corpus.NumUsers())}
+	r := &Ranker{params: params}
+	r.pool.New = func() any {
+		return &scratch{byUser: make([]counters, numUsers)}
 	}
-	return d
+	return r
+}
+
+// Params returns the ranker's configuration.
+func (r *Ranker) Params() Params { return r.params }
+
+// Detector ranks expert candidates over a corpus. It is safe for
+// concurrent use: the corpus is read-only and per-query scratch state
+// is pooled per goroutine.
+type Detector struct {
+	corpus *microblog.Corpus
+	ranker *Ranker
+}
+
+// New builds a detector over a frozen corpus (see NewRanker for the
+// weight handling).
+func New(corpus *microblog.Corpus, params Params) *Detector {
+	return &Detector{corpus: corpus, ranker: NewRanker(corpus.NumUsers(), params)}
 }
 
 // Params returns the detector's configuration.
-func (d *Detector) Params() Params { return d.params }
+func (d *Detector) Params() Params { return d.ranker.params }
+
+// Ranker returns the underlying scoring core.
+func (d *Detector) Ranker() *Ranker { return d.ranker }
 
 // Search returns the ranked experts for a query, or nil when no tweet
 // matches. The result is sorted by descending score, ties broken by
 // user id, truncated to MaxResults and thresholded at MinZScore.
 func (d *Detector) Search(query string) []Expert {
 	candidates := d.Candidates(query)
-	return d.rank(candidates)
+	return d.ranker.Rank(candidates)
 }
 
 // Candidates runs candidate selection and feature extraction without
@@ -152,10 +189,18 @@ func (d *Detector) Candidates(query string) []Expert {
 // once per tweet — no double counting when two expansion terms match the
 // same post.
 func (d *Detector) CandidatesFromTweets(matched []microblog.TweetID) []Expert {
+	return d.ranker.CandidatesFrom(d.corpus, matched)
+}
+
+// CandidatesFrom extracts candidates and raw features from an explicit
+// set of matching tweet ids resolved against src. The live index calls
+// it with a multi-segment snapshot whose matched ids span the base
+// corpus, sealed segments and the active tail.
+func (r *Ranker) CandidatesFrom(src Source, matched []microblog.TweetID) []Expert {
 	if len(matched) == 0 {
 		return nil
 	}
-	s := d.pool.Get().(*scratch)
+	s := r.pool.Get().(*scratch)
 	defer func() {
 		// O(touched) reset keeps the arena reusable without zeroing the
 		// whole user table.
@@ -163,7 +208,7 @@ func (d *Detector) CandidatesFromTweets(matched []microblog.TweetID) []Expert {
 			s.byUser[u] = counters{}
 		}
 		s.touched = s.touched[:0]
-		d.pool.Put(s)
+		r.pool.Put(s)
 	}()
 	get := func(u world.UserID) *counters {
 		c := &s.byUser[u]
@@ -173,9 +218,9 @@ func (d *Detector) CandidatesFromTweets(matched []microblog.TweetID) []Expert {
 		}
 		return c
 	}
-	extended := d.params.WeightHT != 0 || d.params.WeightAV != 0 || d.params.WeightGI != 0
+	extended := r.params.WeightHT != 0 || r.params.WeightAV != 0 || r.params.WeightGI != 0
 	for _, tid := range matched {
-		tw := d.corpus.Tweet(tid)
+		tw := src.Tweet(tid)
 		a := get(tw.Author)
 		a.tweets++
 		a.retweets += tw.RetweetCount
@@ -191,13 +236,13 @@ func (d *Detector) CandidatesFromTweets(matched []microblog.TweetID) []Expert {
 	for _, u := range s.touched {
 		c := &s.byUser[u]
 		e := Expert{User: u, OnTopicTweets: c.tweets}
-		if total := d.corpus.NumTweetsBy(u); total > 0 {
+		if total := src.NumTweetsBy(u); total > 0 {
 			e.TS = float64(c.tweets) / float64(total)
 		}
-		if total := d.corpus.NumMentionsOf(u); total > 0 {
+		if total := src.NumMentionsOf(u); total > 0 {
 			e.MI = float64(c.mentions) / float64(total)
 		}
-		if total := d.corpus.NumRetweetsOf(u); total > 0 {
+		if total := src.NumRetweetsOf(u); total > 0 {
 			e.RI = float64(c.retweets) / float64(total)
 		}
 		if extended {
@@ -205,7 +250,7 @@ func (d *Detector) CandidatesFromTweets(matched []microblog.TweetID) []Expert {
 				e.HT = float64(c.hashtagged) / float64(c.tweets)
 				e.AV = float64(c.retweets) / float64(c.tweets)
 			}
-			e.GI = math.Log1p(float64(d.corpus.World().User(u).Followers))
+			e.GI = math.Log1p(float64(src.World().User(u).Followers))
 		}
 		out = append(out, e)
 	}
@@ -217,10 +262,11 @@ func (d *Detector) CandidatesFromTweets(matched []microblog.TweetID) []Expert {
 // expanded terms first (Section 5: "union the results and rank the
 // experts").
 func (d *Detector) Rank(candidates []Expert) []Expert {
-	return d.rank(candidates)
+	return d.ranker.Rank(candidates)
 }
 
-func (d *Detector) rank(candidates []Expert) []Expert {
+// Rank normalizes, scores, thresholds and sorts a candidate pool.
+func (r *Ranker) Rank(candidates []Expert) []Expert {
 	if len(candidates) == 0 {
 		return nil
 	}
@@ -229,43 +275,43 @@ func (d *Detector) rank(candidates []Expert) []Expert {
 	logMI := make([]float64, n)
 	logRI := make([]float64, n)
 	for i, e := range candidates {
-		logTS[i] = math.Log(e.TS + d.params.Epsilon)
-		logMI[i] = math.Log(e.MI + d.params.Epsilon)
-		logRI[i] = math.Log(e.RI + d.params.Epsilon)
+		logTS[i] = math.Log(e.TS + r.params.Epsilon)
+		logMI[i] = math.Log(e.MI + r.params.Epsilon)
+		logRI[i] = math.Log(e.RI + r.params.Epsilon)
 	}
 	zTS := zscores(logTS)
 	zMI := zscores(logMI)
 	zRI := zscores(logRI)
 
-	wSum := d.params.WeightTS + d.params.WeightMI + d.params.WeightRI +
-		d.params.WeightHT + d.params.WeightGI + d.params.WeightAV
+	wSum := r.params.WeightTS + r.params.WeightMI + r.params.WeightRI +
+		r.params.WeightHT + r.params.WeightGI + r.params.WeightAV
 	scored := make([]Expert, n)
 	copy(scored, candidates)
 	for i := range scored {
-		scored[i].Score = (d.params.WeightTS*zTS[i] +
-			d.params.WeightMI*zMI[i] +
-			d.params.WeightRI*zRI[i]) / wSum
+		scored[i].Score = (r.params.WeightTS*zTS[i] +
+			r.params.WeightMI*zMI[i] +
+			r.params.WeightRI*zRI[i]) / wSum
 	}
-	if d.params.WeightHT != 0 || d.params.WeightGI != 0 || d.params.WeightAV != 0 {
+	if r.params.WeightHT != 0 || r.params.WeightGI != 0 || r.params.WeightAV != 0 {
 		logHT := make([]float64, n)
 		logGI := make([]float64, n)
 		logAV := make([]float64, n)
 		for i, e := range candidates {
-			logHT[i] = math.Log(e.HT + d.params.Epsilon)
+			logHT[i] = math.Log(e.HT + r.params.Epsilon)
 			logGI[i] = e.GI // already log follower count
-			logAV[i] = math.Log(e.AV + d.params.Epsilon)
+			logAV[i] = math.Log(e.AV + r.params.Epsilon)
 		}
 		zHT := zscores(logHT)
 		zGI := zscores(logGI)
 		zAV := zscores(logAV)
 		for i := range scored {
-			scored[i].Score += (d.params.WeightHT*zHT[i] +
-				d.params.WeightGI*zGI[i] +
-				d.params.WeightAV*zAV[i]) / wSum
+			scored[i].Score += (r.params.WeightHT*zHT[i] +
+				r.params.WeightGI*zGI[i] +
+				r.params.WeightAV*zAV[i]) / wSum
 		}
 	}
 
-	if d.params.ClusterFilter && n >= 4 {
+	if r.params.ClusterFilter && n >= 4 {
 		scored = clusterFilter(scored)
 	}
 
@@ -275,11 +321,11 @@ func (d *Detector) rank(candidates []Expert) []Expert {
 	// so the selection is bit-identical to sort-then-truncate.
 	kept := scored[:0]
 	for _, e := range scored {
-		if e.Score >= d.params.MinZScore {
+		if e.Score >= r.params.MinZScore {
 			kept = append(kept, e)
 		}
 	}
-	if k := d.params.MaxResults; k > 0 && len(kept) > k {
+	if k := r.params.MaxResults; k > 0 && len(kept) > k {
 		kept = selectTopK(kept, k)
 	} else {
 		sort.Slice(kept, func(i, j int) bool { return rankedBefore(&kept[i], &kept[j]) })

@@ -1,0 +1,332 @@
+// Package ingest is the live ingestion subsystem: a segmented
+// streaming index that accepts microblog posts while concurrent
+// searches keep running against immutable views.
+//
+// Architecture. Writes land in an append-only active segment under a
+// short mutex. When the active segment reaches Config.SealThreshold it
+// is sealed into an immutable segment backed by a microblog.Corpus
+// (postings, per-user counters) built from the buffered tweets. A
+// background compactor merges adjacent sealed segments of similar size
+// into larger ones, LSM-style, so a long-running index converges to a
+// handful of segments instead of an ever-growing chain. Readers never
+// lock: they acquire an epoch-tagged *Snapshot — base corpus + sealed
+// segments + a frozen view of the active tail — via a single atomic
+// pointer load; every Ingest publishes a fresh snapshot with a single
+// atomic pointer swap, so a query observes one consistent prefix of the
+// stream for its whole lifetime.
+//
+// Per segment the existing zero-copy matching path is reused unchanged
+// (Corpus.MatchAppend, galloping IntersectInto); segment-local ids are
+// rebased to global ids by segment start offset, per-term candidate
+// lists are concatenated in segment order (globally ascending), and the
+// union across expansion terms runs through expertise.MergeTweets. The
+// per-user feature denominators a ranking pass needs are summed across
+// base, sealed segments and the frozen tail, which makes a quiesced
+// live index bit-identical to a cold rebuild over the same posts — the
+// correctness bar the equivalence tests enforce.
+package ingest
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/microblog"
+	"repro/internal/world"
+)
+
+// Config tunes the streaming index.
+type Config struct {
+	// SealThreshold is the active-segment size that triggers sealing
+	// into an immutable corpus-backed segment. Zero means 512.
+	SealThreshold int
+	// CompactFanIn is how many adjacent similar-sized sealed segments
+	// the compactor merges at a time. Zero means 4.
+	CompactFanIn int
+	// DisableCompactor skips starting the background compactor (used by
+	// tests and benchmarks that want to observe fragmented state). An
+	// explicit Quiesce still compacts.
+	DisableCompactor bool
+}
+
+// DefaultConfig returns the streaming defaults.
+func DefaultConfig() Config { return Config{SealThreshold: 512, CompactFanIn: 4} }
+
+// segment is one immutable, corpus-backed slice of the stream. Tweet
+// ids inside corpus are segment-local; start rebases them to global.
+type segment struct {
+	start  microblog.TweetID
+	corpus *microblog.Corpus
+}
+
+// Index is the writer side of the streaming index. Ingest is safe for
+// concurrent use (writes serialize on a short internal lock);
+// Snapshot, and everything reachable from a snapshot, is lock-free.
+type Index struct {
+	w    *world.World
+	base *microblog.Corpus
+	cfg  Config
+
+	mu          sync.Mutex
+	active      []microblog.Tweet // segment-local ids, global = activeStart+i
+	activeStart microblog.TweetID
+	sealed      []*segment
+	epoch       uint64
+	ingested    int64
+	seals       int64
+	compactions int64
+
+	snap atomic.Pointer[Snapshot]
+
+	compactReq chan struct{}
+	done       chan struct{}
+	closeOnce  sync.Once
+	wg         sync.WaitGroup
+}
+
+// New wires a streaming index over a frozen base corpus (which may be
+// empty but supplies the world) and starts the background compactor.
+// Call Close to stop it.
+func New(base *microblog.Corpus, cfg Config) *Index {
+	if cfg.SealThreshold <= 0 {
+		cfg.SealThreshold = 512
+	}
+	if cfg.CompactFanIn <= 1 {
+		cfg.CompactFanIn = 4
+	}
+	i := &Index{
+		w:           base.World(),
+		base:        base,
+		cfg:         cfg,
+		activeStart: microblog.TweetID(base.NumTweets()),
+		compactReq:  make(chan struct{}, 1),
+		done:        make(chan struct{}),
+	}
+	i.mu.Lock()
+	i.publishLocked()
+	i.mu.Unlock()
+	if !cfg.DisableCompactor {
+		i.wg.Add(1)
+		go i.compactLoop()
+	}
+	return i
+}
+
+// Base returns the frozen corpus the stream extends.
+func (i *Index) Base() *microblog.Corpus { return i.base }
+
+// World returns the generating world.
+func (i *Index) World() *world.World { return i.w }
+
+// Ingest appends one post to the stream and publishes a fresh snapshot.
+// It returns the post's global tweet id. Safe for concurrent use.
+func (i *Index) Ingest(p microblog.Post) microblog.TweetID {
+	tw := microblog.MakeTweet(p)
+	i.mu.Lock()
+	gid := i.activeStart + microblog.TweetID(len(i.active))
+	// The stored id is segment-local so it survives sealing unchanged
+	// (FromTweets reassigns ids to the position in the sealed batch).
+	tw.ID = microblog.TweetID(len(i.active))
+	i.active = append(i.active, tw)
+	i.ingested++
+	sealedNow := false
+	if len(i.active) >= i.cfg.SealThreshold {
+		i.sealLocked()
+		sealedNow = true
+	}
+	i.publishLocked()
+	i.mu.Unlock()
+	if sealedNow {
+		i.kickCompactor()
+	}
+	return gid
+}
+
+// IngestBatch ingests posts in order and returns the global id of the
+// first one. The batch's ids are contiguous only with a single writer;
+// concurrent ingesters interleave their posts.
+func (i *Index) IngestBatch(posts []microblog.Post) microblog.TweetID {
+	if len(posts) == 0 {
+		return -1
+	}
+	first := i.Ingest(posts[0])
+	for _, p := range posts[1:] {
+		i.Ingest(p)
+	}
+	return first
+}
+
+// Snapshot returns the current epoch-tagged immutable view. The
+// returned snapshot stays valid (and frozen) forever; a query should
+// acquire one snapshot and run entirely against it.
+func (i *Index) Snapshot() *Snapshot { return i.snap.Load() }
+
+// Epoch returns the epoch of the current snapshot.
+func (i *Index) Epoch() uint64 { return i.snap.Load().epoch }
+
+// sealLocked freezes the active segment into an immutable
+// corpus-backed segment. Called with mu held; the build cost is bounded
+// by SealThreshold, keeping the write stall short.
+func (i *Index) sealLocked() {
+	seg := &segment{start: i.activeStart, corpus: microblog.FromTweets(i.w, i.active)}
+	i.sealed = append(i.sealed, seg)
+	i.activeStart += microblog.TweetID(len(i.active))
+	i.active = make([]microblog.Tweet, 0, i.cfg.SealThreshold)
+	i.seals++
+}
+
+// publishLocked swaps in a fresh snapshot. The tail shares the active
+// segment's backing array — safe because readers only touch indices
+// below the frozen length and the atomic store orders the published
+// elements before any reader's load.
+func (i *Index) publishLocked() {
+	i.epoch++
+	segs := make([]*segment, len(i.sealed))
+	copy(segs, i.sealed)
+	i.snap.Store(&Snapshot{
+		epoch:     i.epoch,
+		base:      i.base,
+		segs:      segs,
+		tail:      i.active[:len(i.active):len(i.active)],
+		tailStart: i.activeStart,
+	})
+}
+
+// kickCompactor nudges the background compactor without blocking.
+func (i *Index) kickCompactor() {
+	select {
+	case i.compactReq <- struct{}{}:
+	default:
+	}
+}
+
+// compactLoop runs until Close, merging whenever a seal makes a run of
+// similar-sized segments eligible.
+func (i *Index) compactLoop() {
+	defer i.wg.Done()
+	for {
+		select {
+		case <-i.done:
+			return
+		case <-i.compactReq:
+			for i.compactOnce() {
+			}
+		}
+	}
+}
+
+// tier buckets a segment size into a size class: segments of the same
+// tier are candidates for merging, which gives LSM-style geometric
+// growth and O(n log n) total compaction work.
+func (i *Index) tier(seg *segment) int {
+	return bits.Len(uint(seg.corpus.NumTweets() / i.cfg.SealThreshold))
+}
+
+// pickRunLocked finds the first adjacent run of CompactFanIn
+// same-tier sealed segments, returning its start index and a copy.
+func (i *Index) pickRunLocked() (int, []*segment) {
+	fanIn := i.cfg.CompactFanIn
+	for a := 0; a+fanIn <= len(i.sealed); a++ {
+		t := i.tier(i.sealed[a])
+		ok := true
+		for j := 1; j < fanIn; j++ {
+			if i.tier(i.sealed[a+j]) != t {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return a, append([]*segment(nil), i.sealed[a:a+fanIn]...)
+		}
+	}
+	return 0, nil
+}
+
+// compactOnce merges one eligible run and publishes the new layout. It
+// reports whether it should be called again (it made progress, or lost
+// a race with a concurrent compaction and must re-scan). The expensive
+// re-index runs outside the lock — the run's segments are immutable —
+// and the splice re-validates the layout before applying.
+func (i *Index) compactOnce() bool {
+	i.mu.Lock()
+	a, run := i.pickRunLocked()
+	if run == nil {
+		i.mu.Unlock()
+		return false
+	}
+	i.mu.Unlock()
+
+	n := 0
+	for _, sg := range run {
+		n += sg.corpus.NumTweets()
+	}
+	all := make([]microblog.Tweet, 0, n)
+	for _, sg := range run {
+		all = append(all, sg.corpus.Tweets()...)
+	}
+	merged := &segment{start: run[0].start, corpus: microblog.FromTweets(i.w, all)}
+
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if a+len(run) > len(i.sealed) {
+		return true // layout changed under us; re-scan
+	}
+	for j, sg := range run {
+		if i.sealed[a+j] != sg {
+			return true // a concurrent compaction won; re-scan
+		}
+	}
+	i.sealed = append(i.sealed[:a:a], append([]*segment{merged}, i.sealed[a+len(run):]...)...)
+	i.compactions++
+	i.publishLocked()
+	return true
+}
+
+// Quiesce synchronously drains every eligible compaction. Afterwards —
+// absent concurrent ingest — the segment layout is stable, which the
+// equivalence tests rely on. (A concurrent background merge may still
+// publish afterwards; merged segments index identical content, so
+// query results are unaffected.)
+func (i *Index) Quiesce() {
+	for i.compactOnce() {
+	}
+}
+
+// Close stops the background compactor. The index remains readable and
+// writable (no further compaction happens).
+func (i *Index) Close() {
+	i.closeOnce.Do(func() { close(i.done) })
+	i.wg.Wait()
+}
+
+// IndexStats is a snapshot of the writer-side counters.
+type IndexStats struct {
+	// Epoch is the current snapshot epoch (one publish per ingest,
+	// seal or compaction).
+	Epoch uint64
+	// NumTweets counts base plus ingested tweets.
+	NumTweets int
+	// Ingested counts live posts accepted.
+	Ingested int64
+	// Segments is the current sealed-segment count; ActiveLen the
+	// unsealed tail length.
+	Segments  int
+	ActiveLen int
+	// Seals and Compactions count background structural events.
+	Seals, Compactions int64
+}
+
+// Stats snapshots the writer-side counters.
+func (i *Index) Stats() IndexStats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return IndexStats{
+		Epoch:       i.epoch,
+		NumTweets:   int(i.activeStart) + len(i.active),
+		Ingested:    i.ingested,
+		Segments:    len(i.sealed),
+		ActiveLen:   len(i.active),
+		Seals:       i.seals,
+		Compactions: i.compactions,
+	}
+}

@@ -1,0 +1,204 @@
+package ingest
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/microblog"
+	"repro/internal/textutil"
+	"repro/internal/world"
+)
+
+// Snapshot is one epoch-tagged immutable view of the stream: the base
+// corpus, the sealed segments and a frozen prefix of the active tail.
+// It satisfies expertise.Source, so the ranking path runs against it
+// exactly as it runs against a frozen corpus. All methods are safe for
+// concurrent use; a snapshot never changes after publication.
+//
+// Tweet ids are global: [0, base.NumTweets()) addresses the base, then
+// each sealed segment's range, then the tail. Tweet(id).ID is the
+// segment-local id, not the global one.
+type Snapshot struct {
+	epoch     uint64
+	base      *microblog.Corpus
+	segs      []*segment
+	tail      []microblog.Tweet
+	tailStart microblog.TweetID
+
+	// The tail index and tail stat deltas are built lazily on first
+	// use: publishing stays O(segments) — a pointer swap plus a small
+	// slice copy — and only snapshots that actually serve a query pay
+	// the O(tail) indexing cost, once.
+	once      sync.Once
+	tailIdx   map[string][]microblog.TweetID
+	tailStats map[world.UserID]userDelta
+}
+
+// userDelta is the active tail's contribution to one user's feature
+// denominators.
+type userDelta struct{ tweets, mentions, retweets int }
+
+// Epoch identifies this view; it increases with every publish.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NumTweets returns the number of posts visible in this view.
+func (s *Snapshot) NumTweets() int { return int(s.tailStart) + len(s.tail) }
+
+// NumSegments returns the sealed-segment count of this view.
+func (s *Snapshot) NumSegments() int { return len(s.segs) }
+
+// World returns the generating world.
+func (s *Snapshot) World() *world.World { return s.base.World() }
+
+// NumUsers returns the number of users in the generating world.
+func (s *Snapshot) NumUsers() int { return s.base.NumUsers() }
+
+// Tweet returns the post with the given global id. The returned
+// tweet's ID field is segment-local.
+func (s *Snapshot) Tweet(id microblog.TweetID) *microblog.Tweet {
+	if int(id) < s.base.NumTweets() {
+		return s.base.Tweet(id)
+	}
+	if id >= s.tailStart {
+		return &s.tail[id-s.tailStart]
+	}
+	// Find the last segment starting at or before id.
+	n := sort.Search(len(s.segs), func(j int) bool { return s.segs[j].start > id })
+	sg := s.segs[n-1]
+	return sg.corpus.Tweet(id - sg.start)
+}
+
+// ensureTail builds the tail's term index and per-user deltas once.
+func (s *Snapshot) ensureTail() {
+	s.once.Do(func() {
+		idx := make(map[string][]microblog.TweetID)
+		stats := make(map[world.UserID]userDelta)
+		for j := range s.tail {
+			tw := &s.tail[j]
+			gid := s.tailStart + microblog.TweetID(j)
+			seen := map[string]bool{}
+			for _, tok := range tw.Terms {
+				if !seen[tok] {
+					seen[tok] = true
+					idx[tok] = append(idx[tok], gid)
+				}
+			}
+			d := stats[tw.Author]
+			d.tweets++
+			d.retweets += tw.RetweetCount
+			stats[tw.Author] = d
+			for _, m := range tw.Mentions {
+				dm := stats[m]
+				dm.mentions++
+				stats[m] = dm
+			}
+		}
+		s.tailIdx = idx
+		s.tailStats = stats
+	})
+}
+
+// NumTweetsBy returns how many visible posts the user authored, summed
+// across base, sealed segments and the frozen tail.
+func (s *Snapshot) NumTweetsBy(u world.UserID) int {
+	n := s.base.NumTweetsBy(u)
+	for _, sg := range s.segs {
+		n += sg.corpus.NumTweetsBy(u)
+	}
+	if len(s.tail) > 0 {
+		s.ensureTail()
+		n += s.tailStats[u].tweets
+	}
+	return n
+}
+
+// NumMentionsOf returns how many visible posts mention the user.
+func (s *Snapshot) NumMentionsOf(u world.UserID) int {
+	n := s.base.NumMentionsOf(u)
+	for _, sg := range s.segs {
+		n += sg.corpus.NumMentionsOf(u)
+	}
+	if len(s.tail) > 0 {
+		s.ensureTail()
+		n += s.tailStats[u].mentions
+	}
+	return n
+}
+
+// NumRetweetsOf returns the total retweets the user's visible posts
+// received.
+func (s *Snapshot) NumRetweetsOf(u world.UserID) int {
+	n := s.base.NumRetweetsOf(u)
+	for _, sg := range s.segs {
+		n += sg.corpus.NumRetweetsOf(u)
+	}
+	if len(s.tail) > 0 {
+		s.ensureTail()
+		n += s.tailStats[u].retweets
+	}
+	return n
+}
+
+// Match returns the global ids of all visible posts containing every
+// token of the query, sorted ascending; nil means no match. The result
+// is freshly allocated — hot paths should use MatchAppendScratch.
+func (s *Snapshot) Match(query string) []microblog.TweetID {
+	out, _ := s.MatchAppendScratch(query, nil, nil)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// MatchAppendScratch is the zero-copy matcher of the live path: it
+// writes the matching global tweet ids into dst (reusing its capacity,
+// discarding its contents) and returns the filled buffer. Matching
+// runs per segment through the frozen zero-copy path and rebases
+// segment-local ids by the segment's start offset; because segments
+// partition the id space in order, the concatenation is globally
+// sorted with no merge step. local is a scratch buffer for the
+// per-segment results; both buffers are returned for reuse.
+func (s *Snapshot) MatchAppendScratch(query string, dst, local []microblog.TweetID) (out, localOut []microblog.TweetID) {
+	dst = s.base.MatchAppend(query, dst)
+	for _, sg := range s.segs {
+		local = sg.corpus.MatchAppend(query, local)
+		for _, id := range local {
+			dst = append(dst, id+sg.start)
+		}
+	}
+	if len(s.tail) > 0 {
+		s.ensureTail()
+		local = s.matchTailInto(query, local)
+		dst = append(dst, local...)
+	}
+	return dst, local
+}
+
+// matchTailInto intersects the query's tokens over the lazily built
+// tail index, writing global ids into buf (contents discarded).
+func (s *Snapshot) matchTailInto(query string, buf []microblog.TweetID) []microblog.TweetID {
+	tokens := textutil.Tokenize(query)
+	if len(tokens) == 0 {
+		return buf[:0]
+	}
+	if len(tokens) == 1 {
+		return append(buf[:0], s.tailIdx[tokens[0]]...)
+	}
+	postings := make([][]microblog.TweetID, len(tokens))
+	for i, tok := range tokens {
+		p, ok := s.tailIdx[tok]
+		if !ok {
+			return buf[:0]
+		}
+		postings[i] = p
+	}
+	sort.Slice(postings, func(i, j int) bool { return len(postings[i]) < len(postings[j]) })
+	buf = microblog.IntersectInto(buf, postings[0], postings[1])
+	for _, p := range postings[2:] {
+		if len(buf) == 0 {
+			return buf
+		}
+		buf = microblog.IntersectInto(buf, buf, p)
+	}
+	return buf
+}

@@ -406,23 +406,27 @@ func (c *Corpus) addChatter(author world.UserID, rng *xrand.RNG) {
 // append finalizes one post: truncates to 140 runes, tokenizes, and
 // updates the per-user counters.
 func (c *Corpus) append(author world.UserID, text string, mentions []world.UserID, retweets int, topic world.TopicID) TweetID {
-	text = textutil.TruncateRunes(text, 140)
-	id := TweetID(len(c.tweets))
-	c.tweets = append(c.tweets, Tweet{
-		ID:           id,
+	return c.appendTweet(MakeTweet(Post{
 		Author:       author,
 		Text:         text,
-		Terms:        textutil.Tokenize(text),
 		Mentions:     mentions,
 		RetweetCount: retweets,
 		Topic:        topic,
-	})
-	c.tweetsBy[author]++
-	for _, m := range mentions {
+	}))
+}
+
+// appendTweet appends an already-rendered tweet, reassigning its ID to
+// the corpus-local position and updating the per-user counters. The
+// Terms slice is shared, not re-tokenized.
+func (c *Corpus) appendTweet(tw Tweet) TweetID {
+	tw.ID = TweetID(len(c.tweets))
+	c.tweets = append(c.tweets, tw)
+	c.tweetsBy[tw.Author]++
+	for _, m := range tw.Mentions {
 		c.mentionsOf[m]++
 	}
-	c.retweetsOf[author] += retweets
-	return id
+	c.retweetsOf[tw.Author] += tw.RetweetCount
+	return tw.ID
 }
 
 // buildIndex constructs the token -> tweet inverted index.

@@ -4,6 +4,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/microblog"
 )
 
 // LoadConfig parameterizes one load-generator run.
@@ -95,5 +98,138 @@ func RunLoad(s *Server, cfg LoadConfig) LoadResult {
 		QPS:      float64(cfg.Total) / dur.Seconds(),
 		Answered: int(answered.Load()),
 		Stats:    s.Stats(),
+	}
+}
+
+// MixedLoadConfig parameterizes one mixed read/write run: search
+// clients hammer the server while ingester goroutines stream live
+// posts into the index the server's backend searches.
+type MixedLoadConfig struct {
+	// Queries is the search pool (round-robin).
+	Queries []string
+	// Searches is the total number of search requests; SearchWorkers
+	// the concurrent clients issuing them (zero or one = sequential).
+	Searches      int
+	SearchWorkers int
+	// Ingests is the total number of posts to stream; IngestWorkers
+	// the concurrent writers (zero or one = a single writer). Each
+	// worker draws from its own deterministic PostStream.
+	Ingests       int
+	IngestWorkers int
+	// BaselineEvery mixes a SearchBaseline request in every n-th
+	// search (zero means e# queries only).
+	BaselineEvery int
+	// Seed varies the post streams; worker w uses Seed+w.
+	Seed uint64
+	// Stream tunes post generation. A zero value means defaults.
+	Stream microblog.StreamConfig
+}
+
+// MixedLoadResult reports one mixed read/write run.
+type MixedLoadResult struct {
+	Duration time.Duration
+	// SearchQPS and IngestPerSec are the two throughputs over the
+	// whole run (both sides run concurrently).
+	Searches     int
+	SearchQPS    float64
+	Ingested     int
+	IngestPerSec float64
+	// Answered counts searches that returned at least one expert.
+	Answered int
+	// StartEpoch and EndEpoch bound the index churn the run caused.
+	StartEpoch, EndEpoch uint64
+	// Stats is the server counter snapshot taken over the run.
+	Stats Stats
+}
+
+// RunMixedLoad drives the server with cfg.Searches requests while
+// streaming cfg.Ingests posts into idx, and reports both throughputs.
+// Either side may be empty: a write-only run still ingests, a
+// read-only run degenerates to RunLoad semantics. Server counters are
+// reset at the start so Stats covers exactly this run. The server's
+// backend should be a live detector over idx — otherwise searches
+// never observe the writes.
+func RunMixedLoad(s *Server, idx *ingest.Index, cfg MixedLoadConfig) MixedLoadResult {
+	searching := cfg.Searches > 0 && len(cfg.Queries) > 0
+	if !searching {
+		cfg.Searches = 0
+	}
+	if !searching && cfg.Ingests <= 0 {
+		return MixedLoadResult{}
+	}
+	searchWorkers := 0
+	if searching {
+		searchWorkers = max(cfg.SearchWorkers, 1)
+		searchWorkers = min(searchWorkers, cfg.Searches)
+	}
+	ingestWorkers := max(cfg.IngestWorkers, 1)
+	if cfg.Ingests <= 0 {
+		ingestWorkers = 0
+	}
+	if stream := (microblog.StreamConfig{}); cfg.Stream == stream {
+		cfg.Stream = microblog.DefaultStreamConfig(cfg.Seed)
+	}
+	s.ResetStats()
+	startEpoch := idx.Epoch()
+
+	var answered, ingested atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	for w := 0; w < ingestWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			streamCfg := cfg.Stream
+			streamCfg.Seed = cfg.Seed + uint64(w)
+			stream := microblog.NewPostStream(idx.World(), streamCfg)
+			// Spread the total over the workers; the first takes the slack.
+			n := cfg.Ingests / ingestWorkers
+			if w == 0 {
+				n += cfg.Ingests % ingestWorkers
+			}
+			for i := 0; i < n; i++ {
+				idx.Ingest(stream.Next())
+				ingested.Add(1)
+			}
+		}(w)
+	}
+
+	var next atomic.Int64
+	for w := 0; w < searchWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Searches {
+					return
+				}
+				q := cfg.Queries[i%len(cfg.Queries)]
+				var experts int
+				if cfg.BaselineEvery > 0 && (i+1)%cfg.BaselineEvery == 0 {
+					experts = len(s.SearchBaseline(q))
+				} else {
+					experts = len(s.Search(q))
+				}
+				if experts > 0 {
+					answered.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	return MixedLoadResult{
+		Duration:     dur,
+		Searches:     cfg.Searches,
+		SearchQPS:    float64(cfg.Searches) / dur.Seconds(),
+		Ingested:     int(ingested.Load()),
+		IngestPerSec: float64(ingested.Load()) / dur.Seconds(),
+		Answered:     int(answered.Load()),
+		StartEpoch:   startEpoch,
+		EndEpoch:     idx.Epoch(),
+		Stats:        s.Stats(),
 	}
 }

@@ -1,21 +1,32 @@
 // Package serve is the online serving layer of the reproduction: a
-// concurrent query front-end over a shared, immutable e# pipeline. The
-// paper's deployment answers expert queries from production web-search
-// traffic; this package models that stage so the serving throughput of
-// the online hot path (expansion → matching → union → ranking) can be
-// measured and improved PR over PR.
+// concurrent query front-end over a shared e# engine — frozen
+// (core.Detector) or live (core.LiveDetector over the streaming index
+// in internal/ingest). The paper's deployment answers expert queries
+// from production web-search traffic while new tweets keep arriving;
+// this package models that stage so serving throughput can be measured
+// and improved PR over PR under both read-only and mixed read/write
+// load.
 //
 // A Server multiplexes concurrent Search and SearchBaseline requests
-// over one core.Detector — safe because the corpus, domain collection
-// and detector are all read-only after construction — and fronts them
-// with an LRU result cache keyed on the normalized query text (repeat
-// queries dominate real search traffic, so the paper's latency budget
-// is really about cache misses). Build the detector with
-// core.OnlineConfig.MatchWorkers = 1 when serving concurrently:
-// request-level parallelism already saturates the cores, and per-query
-// matching fan-out on top only adds scheduling overhead. The companion load generator in
-// loadgen.go drives a Server at a configurable concurrency and reports
-// throughput, feeding the BenchmarkServeQPS* suite.
+// over one Backend and fronts them with an LRU result cache keyed on
+// the normalized query text. Two mechanisms keep the cache honest and
+// cheap under load:
+//
+//   - Epoch invalidation: every cache entry is tagged with the
+//     backend's epoch at compute time. A live backend bumps its epoch
+//     on every snapshot swap (ingest, seal, compaction), so a lookup
+//     that finds an entry from an older view drops it and recomputes
+//     instead of serving pre-ingest results. Frozen backends report a
+//     constant epoch and never invalidate.
+//   - Singleflight: concurrent identical cold misses coalesce onto one
+//     in-flight computation; followers wait for the leader's result
+//     instead of running the detector N times.
+//
+// Build detectors with core.OnlineConfig.MatchWorkers = 1 when serving
+// concurrently: request-level parallelism already saturates the cores.
+// The load generators in loadgen.go drive a Server at configurable
+// concurrency — read-only (RunLoad) or mixed with live ingestion
+// (RunMixedLoad) — feeding the BenchmarkServeQPS* suite.
 package serve
 
 import (
@@ -28,10 +39,22 @@ import (
 	"repro/internal/textutil"
 )
 
+// Backend is the query engine a Server fronts. Both core.Detector
+// (frozen index, constant epoch) and core.LiveDetector (streaming
+// index, epoch bumped on every snapshot swap) satisfy it.
+type Backend interface {
+	Search(query string) ([]expertise.Expert, core.SearchTrace)
+	SearchBaseline(query string) []expertise.Expert
+	// Epoch identifies the index view queries currently run against;
+	// cached results from older epochs are stale.
+	Epoch() uint64
+}
+
 // Config tunes a Server.
 type Config struct {
 	// CacheSize is the maximum number of cached query results across
-	// both endpoints. Zero disables caching entirely.
+	// both endpoints. Zero disables caching entirely (in-flight
+	// coalescing still applies).
 	CacheSize int
 }
 
@@ -42,11 +65,20 @@ func DefaultConfig() Config { return Config{CacheSize: 4096} }
 type Stats struct {
 	// Queries is the total number of requests served.
 	Queries int64
-	// CacheHits and CacheMisses split Queries by cache outcome. With
-	// caching disabled every query is a miss.
+	// CacheHits and CacheMisses split Queries by outcome: a miss ran
+	// the detector, a hit did not (served from cache or coalesced onto
+	// another request's computation). They always sum to Queries.
 	CacheHits, CacheMisses int64
-	// CacheEntries is the current number of cached results.
+	// Coalesced counts the subset of CacheHits that waited on an
+	// in-flight identical request instead of reading a stored entry.
+	Coalesced int64
+	// Invalidations counts cache entries dropped because the backend's
+	// epoch moved past the entry's (live ingestion made them stale).
+	Invalidations int64
+	// CacheEntries is the current number of cached results; Epoch is
+	// the backend's current epoch.
 	CacheEntries int
+	Epoch        uint64
 }
 
 // cacheKey distinguishes the two endpoints for one normalized query.
@@ -58,29 +90,38 @@ type cacheKey struct {
 // cacheEntry is one LRU slot.
 type cacheEntry struct {
 	key     cacheKey
+	epoch   uint64
+	experts []expertise.Expert
+}
+
+// flight is one in-progress computation that duplicate requests wait
+// on. experts is written once, before wg.Done releases the waiters.
+type flight struct {
+	wg      sync.WaitGroup
 	experts []expertise.Expert
 }
 
 // Server answers concurrent expert-search requests over a shared
-// pipeline. All methods are safe for concurrent use.
+// backend. All methods are safe for concurrent use.
 type Server struct {
-	det *core.Detector
-	cfg Config
+	backend Backend
+	cfg     Config
 
-	queries, hits, misses atomic.Int64
+	queries, hits, misses    atomic.Int64
+	coalesced, invalidations atomic.Int64
 
-	// mu guards the LRU structures only; detector calls run outside the
-	// lock, so two concurrent misses on the same cold query may both
-	// compute it (the second insert wins — results are deterministic, so
-	// either value is correct).
-	mu    sync.Mutex
-	order *list.List // front = most recently used; values are *cacheEntry
-	slots map[cacheKey]*list.Element
+	// mu guards the LRU structures and the in-flight table; detector
+	// calls run outside the lock.
+	mu       sync.Mutex
+	order    *list.List // front = most recently used; values are *cacheEntry
+	slots    map[cacheKey]*list.Element
+	inflight map[cacheKey]*flight
 }
 
-// New wires a server over an online detector.
-func New(det *core.Detector, cfg Config) *Server {
-	s := &Server{det: det, cfg: cfg}
+// New wires a server over a backend (a frozen core.Detector or a live
+// core.LiveDetector).
+func New(b Backend, cfg Config) *Server {
+	s := &Server{backend: b, cfg: cfg, inflight: make(map[cacheKey]*flight)}
 	if cfg.CacheSize > 0 {
 		s.order = list.New()
 		s.slots = make(map[cacheKey]*list.Element, cfg.CacheSize)
@@ -88,8 +129,8 @@ func New(det *core.Detector, cfg Config) *Server {
 	return s
 }
 
-// Detector returns the underlying online detector.
-func (s *Server) Detector() *core.Detector { return s.det }
+// Backend returns the underlying query engine.
+func (s *Server) Backend() Backend { return s.backend }
 
 // Search answers one e# query. The returned slice may be shared with
 // the cache and other callers — treat it as read-only.
@@ -106,52 +147,97 @@ func (s *Server) SearchBaseline(query string) []expertise.Expert {
 func (s *Server) serve(query string, baseline bool) []expertise.Expert {
 	s.queries.Add(1)
 	key := cacheKey{query: textutil.Normalize(query), baseline: baseline}
-	if experts, ok := s.lookup(key); ok {
+	epoch := s.backend.Epoch()
+
+	s.mu.Lock()
+	if experts, ok := s.lookupLocked(key, epoch); ok {
+		s.mu.Unlock()
 		s.hits.Add(1)
 		return experts
 	}
-	s.misses.Add(1)
-	var experts []expertise.Expert
-	if baseline {
-		experts = s.det.SearchBaseline(key.query)
-	} else {
-		experts, _ = s.det.Search(key.query)
+	if f := s.inflight[key]; f != nil {
+		// An identical request is already computing: coalesce onto it.
+		// The follower observes the view the leader started under —
+		// standard singleflight semantics.
+		s.mu.Unlock()
+		f.wg.Wait()
+		s.hits.Add(1)
+		s.coalesced.Add(1)
+		return f.experts
 	}
-	s.insert(key, experts)
-	return experts
+	f := &flight{}
+	f.wg.Add(1)
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	s.misses.Add(1)
+	// Deregister and release the waiters even if the backend panics —
+	// otherwise the key would block every future request forever. Only
+	// a completed computation is cached; a panic caches nothing.
+	completed := false
+	defer func() {
+		s.mu.Lock()
+		if completed {
+			// Tag the entry with the epoch sampled before computing: if
+			// the index moved mid-flight, the entry is conservatively
+			// already stale and the next lookup recomputes against the
+			// new view.
+			s.insertLocked(key, f.experts, epoch)
+		}
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		f.wg.Done()
+	}()
+	if baseline {
+		f.experts = s.backend.SearchBaseline(key.query)
+	} else {
+		f.experts, _ = s.backend.Search(key.query)
+	}
+	completed = true
+	return f.experts
 }
 
-// lookup fetches a cached result and marks it most recently used.
-func (s *Server) lookup(key cacheKey) ([]expertise.Expert, bool) {
+// lookupLocked fetches a cached result and marks it most recently
+// used. An entry from an older epoch is dropped — the live index has
+// moved on, so serving it would return pre-ingest results.
+func (s *Server) lookupLocked(key cacheKey, epoch uint64) ([]expertise.Expert, bool) {
 	if s.slots == nil {
 		return nil, false
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	el, ok := s.slots[key]
 	if !ok {
 		return nil, false
 	}
+	entry := el.Value.(*cacheEntry)
+	// Staleness only: an entry tagged newer than this request's epoch
+	// sample (a concurrent request cached it after an ingest) is fresh
+	// — serving it is a monotonic step forward, not a stale read.
+	if entry.epoch < epoch {
+		s.order.Remove(el)
+		delete(s.slots, key)
+		s.invalidations.Add(1)
+		return nil, false
+	}
 	s.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).experts, true
+	return entry.experts, true
 }
 
-// insert stores a result, evicting the least recently used entry when
-// the cache is full.
-func (s *Server) insert(key cacheKey, experts []expertise.Expert) {
+// insertLocked stores a result, evicting the least recently used entry
+// when the cache is full.
+func (s *Server) insertLocked(key cacheKey, experts []expertise.Expert, epoch uint64) {
 	if s.slots == nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.slots[key]; ok {
-		// A concurrent miss on the same query filled the slot first;
-		// refresh it and keep a single entry.
-		el.Value.(*cacheEntry).experts = experts
+		// A stale entry raced back in (or an invalidated key was
+		// recomputed); refresh it and keep a single entry.
+		entry := el.Value.(*cacheEntry)
+		entry.experts = experts
+		entry.epoch = epoch
 		s.order.MoveToFront(el)
 		return
 	}
-	s.slots[key] = s.order.PushFront(&cacheEntry{key: key, experts: experts})
+	s.slots[key] = s.order.PushFront(&cacheEntry{key: key, epoch: epoch, experts: experts})
 	if s.order.Len() > s.cfg.CacheSize {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
@@ -164,14 +250,19 @@ func (s *Server) ResetStats() {
 	s.queries.Store(0)
 	s.hits.Store(0)
 	s.misses.Store(0)
+	s.coalesced.Store(0)
+	s.invalidations.Store(0)
 }
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Queries:     s.queries.Load(),
-		CacheHits:   s.hits.Load(),
-		CacheMisses: s.misses.Load(),
+		Queries:       s.queries.Load(),
+		CacheHits:     s.hits.Load(),
+		CacheMisses:   s.misses.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Invalidations: s.invalidations.Load(),
+		Epoch:         s.backend.Epoch(),
 	}
 	if s.slots != nil {
 		s.mu.Lock()

@@ -2,10 +2,14 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/expertise"
+	"repro/internal/ingest"
+	"repro/internal/microblog"
 )
 
 var (
@@ -145,6 +149,290 @@ func TestCacheDisabled(t *testing.T) {
 	st := s.Stats()
 	if st.CacheHits != 0 || st.CacheMisses != 3 || st.CacheEntries != 0 {
 		t.Fatalf("disabled cache should be all-miss: %+v", st)
+	}
+}
+
+// scriptedBackend is a controllable Backend for cache-mechanics tests:
+// a settable epoch, a call counter, and an optional gate that blocks
+// computations until the test releases it.
+type scriptedBackend struct {
+	epoch atomic.Uint64
+	calls atomic.Int64
+	gate  chan struct{} // nil = never block
+}
+
+func (b *scriptedBackend) answer(query string) []expertise.Expert {
+	b.calls.Add(1)
+	if b.gate != nil {
+		<-b.gate
+	}
+	return []expertise.Expert{{User: 1, Score: float64(b.epoch.Load())}}
+}
+
+func (b *scriptedBackend) Search(query string) ([]expertise.Expert, core.SearchTrace) {
+	return b.answer(query), core.SearchTrace{Query: query}
+}
+func (b *scriptedBackend) SearchBaseline(query string) []expertise.Expert {
+	return b.answer(query)
+}
+func (b *scriptedBackend) Epoch() uint64 { return b.epoch.Load() }
+
+// TestSingleflightColdMisses pins the coalescing contract: N concurrent
+// identical cold queries run the backend once; everyone gets the
+// leader's result.
+func TestSingleflightColdMisses(t *testing.T) {
+	backend := &scriptedBackend{gate: make(chan struct{})}
+	s := New(backend, DefaultConfig())
+
+	const n = 8
+	results := make(chan []expertise.Expert, n)
+	// Start the leader alone and wait until it is inside the backend
+	// (its flight is registered by then), so every follower launched
+	// afterwards finds the in-flight computation.
+	go func() { results <- s.Search("49ers") }()
+	for backend.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 1; i < n; i++ {
+		go func() { results <- s.Search("49ers") }()
+	}
+	// Wait until every follower has entered serve (the query counter
+	// increments on entry), give them a beat to park on the flight,
+	// then release the leader's computation.
+	for s.Stats().Queries < n {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(backend.gate)
+	var got [][]expertise.Expert
+	for i := 0; i < n; i++ {
+		got = append(got, <-results)
+	}
+
+	if calls := backend.calls.Load(); calls != 1 {
+		t.Fatalf("backend computed %d times, want 1", calls)
+	}
+	st := s.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != n-1 {
+		t.Fatalf("want 1 miss / %d hits, got %+v", n-1, st)
+	}
+	if st.Coalesced == 0 {
+		t.Fatal("no request reported as coalesced")
+	}
+	for _, experts := range got {
+		if !sameExperts(experts, got[0]) {
+			t.Fatal("coalesced requests returned different results")
+		}
+	}
+	// The two endpoints must not coalesce onto each other.
+	s.SearchBaseline("49ers")
+	if calls := backend.calls.Load(); calls != 2 {
+		t.Fatalf("baseline should compute separately, backend ran %d times", calls)
+	}
+}
+
+// panicOnceBackend panics on its first computation, then answers
+// normally — modelling a backend bug a serving layer must survive.
+type panicOnceBackend struct {
+	scriptedBackend
+	panicked atomic.Bool
+}
+
+func (b *panicOnceBackend) Search(query string) ([]expertise.Expert, core.SearchTrace) {
+	if b.panicked.CompareAndSwap(false, true) {
+		panic("backend bug")
+	}
+	return b.scriptedBackend.Search(query)
+}
+
+// TestBackendPanicDoesNotWedgeKey pins the singleflight cleanup: a
+// panicking leader must deregister its flight (so the key is not
+// blocked forever) and must not cache its incomplete result.
+func TestBackendPanicDoesNotWedgeKey(t *testing.T) {
+	backend := &panicOnceBackend{}
+	s := New(backend, DefaultConfig())
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("backend panic did not propagate")
+			}
+		}()
+		s.Search("49ers")
+	}()
+
+	// The key must be usable again, recompute (no cached nil from the
+	// panicked flight), and then cache normally.
+	done := make(chan []expertise.Expert, 1)
+	go func() { done <- s.Search("49ers") }()
+	select {
+	case experts := <-done:
+		if len(experts) == 0 {
+			t.Fatal("recomputed query returned the panicked flight's empty result")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("key wedged: request after backend panic never returned")
+	}
+	s.Search("49ers")
+	if st := s.Stats(); st.CacheHits != 1 {
+		t.Fatalf("key did not re-cache after panic recovery: %+v", st)
+	}
+}
+
+// TestEpochInvalidation pins the staleness contract: bumping the
+// backend's epoch turns every cached entry for the old view into a
+// miss, counted under Invalidations.
+func TestEpochInvalidation(t *testing.T) {
+	backend := &scriptedBackend{}
+	s := New(backend, DefaultConfig())
+
+	s.Search("49ers") // miss -> cached under epoch 0
+	s.Search("49ers") // hit
+	if st := s.Stats(); st.CacheHits != 1 || st.CacheMisses != 1 || st.Invalidations != 0 {
+		t.Fatalf("before swap: %+v", st)
+	}
+
+	backend.epoch.Store(1) // snapshot swap: everything cached is stale
+	experts := s.Search("49ers")
+	st := s.Stats()
+	if st.CacheMisses != 2 || st.Invalidations != 1 {
+		t.Fatalf("stale entry not invalidated: %+v", st)
+	}
+	if experts[0].Score != 1 {
+		t.Fatal("post-swap query served the pre-swap result")
+	}
+	s.Search("49ers") // re-cached under the new epoch
+	if st := s.Stats(); st.CacheHits != 2 || st.Epoch != 1 {
+		t.Fatalf("after re-cache: %+v", st)
+	}
+}
+
+// TestStatsCountersUnderConcurrency hammers one server with goroutines
+// over a churning-epoch backend and checks the counters stay coherent:
+// hits + misses == queries, coalesced <= hits, entries <= cap.
+func TestStatsCountersUnderConcurrency(t *testing.T) {
+	backend := &scriptedBackend{}
+	s := New(backend, Config{CacheSize: 3})
+	queries := []string{"a", "b", "c", "d", "e"}
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				q := queries[(w+i)%len(queries)]
+				if (w+i)%7 == 0 {
+					backend.epoch.Add(1) // concurrent snapshot swaps
+				}
+				if (w+i)%3 == 0 {
+					s.SearchBaseline(q)
+				} else {
+					s.Search(q)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Queries != workers*perWorker {
+		t.Fatalf("served %d queries, want %d", st.Queries, workers*perWorker)
+	}
+	if st.CacheHits+st.CacheMisses != st.Queries {
+		t.Fatalf("hits %d + misses %d != queries %d", st.CacheHits, st.CacheMisses, st.Queries)
+	}
+	if st.Coalesced > st.CacheHits {
+		t.Fatalf("coalesced %d exceeds hits %d", st.Coalesced, st.CacheHits)
+	}
+	if st.CacheEntries > 3 {
+		t.Fatalf("cache holds %d entries, cap is 3", st.CacheEntries)
+	}
+	if st.CacheMisses != backend.calls.Load() {
+		t.Fatalf("misses %d but backend computed %d times", st.CacheMisses, backend.calls.Load())
+	}
+}
+
+// TestLiveServerInvalidatesOnIngest is the end-to-end epoch story: a
+// server over a LiveDetector stops serving pre-ingest results as soon
+// as the stream moves.
+func TestLiveServerInvalidatesOnIngest(t *testing.T) {
+	p := testPipeline(t)
+	idx := ingest.New(p.Corpus, ingest.DefaultConfig())
+	defer idx.Close()
+	live := core.NewLiveDetector(p.Collection, idx, p.Cfg.Online)
+	s := New(live, DefaultConfig())
+
+	before := s.Search("49ers")
+	s.Search("49ers")
+	if st := s.Stats(); st.CacheHits != 1 {
+		t.Fatalf("frozen stretch should hit: %+v", st)
+	}
+
+	stream := microblog.NewPostStream(p.World, microblog.DefaultStreamConfig(71))
+	for i := 0; i < 50; i++ {
+		idx.Ingest(stream.Next())
+	}
+	after := s.Search("49ers") // stale entry must be recomputed
+	st := s.Stats()
+	if st.Invalidations != 1 || st.CacheMisses != 2 {
+		t.Fatalf("ingest did not invalidate: %+v", st)
+	}
+	// The recomputed result reflects the post-ingest view: check it
+	// against a fresh uncached live search.
+	want, _ := live.Search("49ers")
+	if !sameExperts(after, want) {
+		t.Fatal("post-ingest result does not match the live view")
+	}
+	_ = before
+}
+
+// TestRunMixedLoadAccounting drives the mixed read/write generator and
+// checks both sides' accounting.
+func TestRunMixedLoadAccounting(t *testing.T) {
+	p := testPipeline(t)
+	idx := ingest.New(p.Corpus, ingest.Config{SealThreshold: 64, CompactFanIn: 3})
+	defer idx.Close()
+	live := core.NewLiveDetector(p.Collection, idx, p.Cfg.Online)
+	s := New(live, DefaultConfig())
+
+	res := RunMixedLoad(s, idx, MixedLoadConfig{
+		Queries:       []string{"49ers", "diabetes", "nfl", "zzz-none"},
+		Searches:      60,
+		SearchWorkers: 4,
+		Ingests:       120,
+		IngestWorkers: 2,
+		BaselineEvery: 5,
+		Seed:          7,
+	})
+	if res.Searches != 60 || res.Stats.Queries != 60 {
+		t.Fatalf("bad search accounting: %+v", res)
+	}
+	if res.Ingested != 120 {
+		t.Fatalf("ingested %d posts, want 120", res.Ingested)
+	}
+	if res.EndEpoch < res.StartEpoch+120 {
+		t.Fatalf("epoch did not advance with ingestion: %d -> %d", res.StartEpoch, res.EndEpoch)
+	}
+	if res.Stats.CacheHits+res.Stats.CacheMisses != 60 {
+		t.Fatalf("hit/miss counters inconsistent: %+v", res.Stats)
+	}
+	if st := idx.Stats(); st.Ingested != 120 {
+		t.Fatalf("index saw %d ingests, want 120", st.Ingested)
+	}
+	if RunMixedLoad(s, idx, MixedLoadConfig{}).Searches != 0 {
+		t.Fatal("empty mixed load should be a no-op")
+	}
+
+	// A write-only run (no search side) must still ingest.
+	before := idx.Stats().Ingested
+	wo := RunMixedLoad(s, idx, MixedLoadConfig{Ingests: 30, IngestWorkers: 2, Seed: 9})
+	if wo.Ingested != 30 || idx.Stats().Ingested != before+30 {
+		t.Fatalf("write-only run ingested %d posts, want 30", wo.Ingested)
+	}
+	if wo.Searches != 0 || wo.Stats.Queries != 0 {
+		t.Fatalf("write-only run reported searches: %+v", wo)
 	}
 }
 
