@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench cover check
+.PHONY: all build test race vet bench cover check docs-check bench-shard
 
 all: check
 
@@ -10,16 +10,27 @@ build:
 test:
 	$(GO) test ./...
 
-# The serving layer, the online detectors and the streaming index are
-# the concurrent surfaces; hammer them with the race detector enabled.
+# The serving layer, the online detectors, the streaming index and the
+# sharded router are the concurrent surfaces; hammer them with the race
+# detector enabled.
 race:
-	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog ./internal/ingest
+	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog ./internal/ingest ./internal/shard
 
 vet:
 	$(GO) vet ./...
 
+# Documentation gate (see BENCHMARKS.md and ARCHITECTURE.md): formatting
+# is canonical, vet is clean, and every exported symbol of the flagship
+# query-path packages carries a doc comment.
+docs-check: vet
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$fmtout"; exit 1; fi
+	$(GO) run ./cmd/docscheck ./internal/shard ./internal/core
+
 # Hot-path and serving benchmarks; `make bench BENCH=.` runs everything
-# in the root package. Streaming benchmarks live in internal/ingest.
+# in the root package. Streaming benchmarks live in internal/ingest,
+# sharded scatter-gather benchmarks in internal/shard; BENCHMARKS.md
+# maps each name to the paper table or serving claim it backs.
 BENCH ?= Table9|ServeQPS|OnlineSearch
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -run '^$$' .
@@ -27,9 +38,12 @@ bench:
 bench-ingest:
 	$(GO) test -bench 'Ingest|LiveSearch' -benchmem -run '^$$' ./internal/ingest
 
+bench-shard:
+	$(GO) test -bench 'Sharded|EpochVector' -benchmem -run '^$$' ./internal/shard
+
 # Coverage over the library packages, with a one-line total summary.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-check: build vet test race
+check: build vet test race docs-check

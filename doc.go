@@ -3,21 +3,32 @@
 // Alonso — EDBT 2016).
 //
 // The library lives under internal/: the e# pipeline in internal/core
-// (frozen Detector and streaming LiveDetector), the live ingestion
-// subsystem in internal/ingest (segmented streaming index: sealed
-// corpus-backed segments, background compaction, epoch-tagged atomic
-// snapshots), the concurrent serving layer in internal/serve (query
-// front-end, epoch-invalidated LRU result cache with in-flight
+// (frozen Detector, streaming LiveDetector and scatter-gather
+// ShardedLiveDetector), the live ingestion subsystem in internal/ingest
+// (segmented streaming index: sealed corpus-backed segments, background
+// compaction, epoch-tagged atomic snapshots), the author-partitioned
+// shard router in internal/shard (N streaming indexes behind a stable
+// author hash, per-shard epochs composed into a vector epoch), the
+// concurrent serving layer in internal/serve (query front-end,
+// epoch- and vector-epoch-invalidated LRU result cache with in-flight
 // coalescing, read-only and mixed read/write load generators), and one
 // package per substrate (query-log synthesis, similarity graph,
 // relational engine, community detection, domain store, microblog
 // corpus, baseline detector, crowdsourcing simulation, experiment
 // harness). Executables are cmd/esharp and cmd/experiments; runnable
 // examples live in examples/ (examples/streaming drives live ingestion
-// under concurrent search). The benchmarks in bench_test.go regenerate
-// every table and figure of the paper's evaluation section and measure
-// serving throughput (BenchmarkServeQPS*); internal/ingest adds
-// BenchmarkIngest* and BenchmarkLiveSearch* for the streaming path.
-// ROADMAP.md tracks the north star and open items, and CHANGES.md
-// records per-PR measurements.
+// under concurrent search, single-node or sharded via -shards N).
+//
+// ARCHITECTURE.md is the layer-by-layer tour of the whole system —
+// data flow, the epoch/vector-epoch invalidation story, and the
+// bit-identical equivalence invariant each layer is held to.
+// BENCHMARKS.md maps every Benchmark* name to the paper table or
+// serving claim it backs and records the measurement methodology; the
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation section and measure serving throughput
+// (BenchmarkServeQPS*), internal/ingest adds BenchmarkIngest* and
+// BenchmarkLiveSearch* for the streaming path, and internal/shard adds
+// BenchmarkLiveSearchSharded* and BenchmarkServeQPSShardedMixed* for
+// the sharded path. ROADMAP.md tracks the north star and open items,
+// and CHANGES.md records per-PR measurements.
 package repro

@@ -1,25 +1,39 @@
 // Streaming: drive the live ingestion subsystem the way the paper's
 // deployment would — tweets keep arriving while expert queries keep
 // being answered. It builds the miniature pipeline, wraps the corpus
-// in a streaming index (internal/ingest) behind a live detector and an
-// epoch-aware caching server, replays a mixed read/write workload, and
-// finally quiesces and spot-checks that the live index agrees with a
-// cold detector rebuilt over the same posts.
+// in a streaming index behind a live detector and an epoch-aware
+// caching server, replays a mixed read/write workload, and finally
+// quiesces and spot-checks that the live index agrees with a cold
+// detector rebuilt over the same posts.
+//
+// With -shards N (N > 1) the stream is hash-partitioned by author
+// across N independent indexes behind a scatter-gather
+// core.ShardedLiveDetector (internal/shard), and the serving cache
+// invalidates on the vector of per-shard epochs instead of a single
+// counter. The final equivalence check is the same either way: the
+// (sharded) live index must agree with a cold rebuild bit for bit.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"runtime"
+
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/ingest"
 	"repro/internal/microblog"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 func main() {
+	shards := flag.Int("shards", 1, "number of author-partitioned shards (1 = single-node live index)")
+	flag.Parse()
+
 	pipeline, err := core.BuildPipeline(core.TinyPipelineConfig())
 	if err != nil {
 		log.Fatal(err)
@@ -31,22 +45,60 @@ func main() {
 		pool = append(pool, set.Queries...)
 	}
 
-	idx := ingest.New(pipeline.Corpus, ingest.Config{SealThreshold: 128, CompactFanIn: 4})
-	defer idx.Close()
 	online := pipeline.Cfg.Online
 	online.MatchWorkers = 1 // request-level concurrency supplies the parallelism
-	live := core.NewLiveDetector(pipeline.Collection, idx, online)
-	srv := serve.New(live, serve.DefaultConfig())
+	icfg := ingest.Config{SealThreshold: 128, CompactFanIn: 4}
 
-	fmt.Printf("live index over %d base tweets, %d domains; workload of %d distinct queries\n\n",
-		pipeline.Corpus.NumTweets(), pipeline.Collection.NumDomains(), len(pool))
+	// Wire the chosen topology: one streaming index, or a router over N
+	// of them. Both sides expose the same Backend + Sink surfaces, so
+	// the serving and load-generation code below is topology-blind.
+	var (
+		backend serve.Backend
+		sink    serve.Sink
+		collect func() []microblog.Tweet // ingested tweets, for the cold rebuild
+	)
+	if *shards > 1 {
+		r := shard.New(pipeline.Corpus, shard.Config{Shards: *shards, Ingest: icfg})
+		defer r.Close()
+		backend = core.NewShardedLiveDetector(pipeline.Collection, r, online)
+		sink = r
+		collect = func() []microblog.Tweet {
+			r.Quiesce()
+			var all []microblog.Tweet
+			for i := 0; i < r.NumShards(); i++ {
+				snap := r.Shard(i).Snapshot()
+				for gid := r.Shard(i).Base().NumTweets(); gid < snap.NumTweets(); gid++ {
+					all = append(all, *snap.Tweet(microblog.TweetID(gid)))
+				}
+			}
+			return all
+		}
+	} else {
+		idx := ingest.New(pipeline.Corpus, icfg)
+		defer idx.Close()
+		backend = core.NewLiveDetector(pipeline.Collection, idx, online)
+		sink = idx
+		collect = func() []microblog.Tweet {
+			idx.Quiesce()
+			snap := idx.Snapshot()
+			var all []microblog.Tweet
+			for gid := pipeline.Corpus.NumTweets(); gid < snap.NumTweets(); gid++ {
+				all = append(all, *snap.Tweet(microblog.TweetID(gid)))
+			}
+			return all
+		}
+	}
+	srv := serve.New(backend, serve.DefaultConfig())
+
+	fmt.Printf("live index over %d base tweets, %d domains, %d shard(s); workload of %d distinct queries\n\n",
+		pipeline.Corpus.NumTweets(), pipeline.Collection.NumDomains(), *shards, len(pool))
 
 	const spot = "49ers"
 	before := srv.Search(spot)
-	fmt.Printf("epoch %-4d  %q -> %d experts (pre-ingest)\n", live.Epoch(), spot, len(before))
+	fmt.Printf("epoch %-4d  %q -> %d experts (pre-ingest)\n", backend.Epoch(), spot, len(before))
 
 	workers := runtime.GOMAXPROCS(0)
-	res := serve.RunMixedLoad(srv, idx, serve.MixedLoadConfig{
+	res := serve.RunMixedLoad(srv, sink, serve.MixedLoadConfig{
 		Queries:       pool,
 		Searches:      4 * len(pool),
 		SearchWorkers: workers,
@@ -55,39 +107,29 @@ func main() {
 		BaselineEvery: 5,
 		Seed:          23,
 	})
-	st := idx.Stats()
 	fmt.Printf("\nmixed load: %d searches (%.0f qps) alongside %d ingests (%.0f posts/s) in %v\n",
 		res.Searches, res.SearchQPS, res.Ingested, res.IngestPerSec, res.Duration.Round(0))
-	fmt.Printf("epochs %d -> %d; %d seals, %d compactions, %d sealed segments (+%d-tweet tail)\n",
-		res.StartEpoch, res.EndEpoch, st.Seals, st.Compactions, st.Segments, st.ActiveLen)
+	fmt.Printf("epoch digest %d -> %d\n", res.StartEpoch, res.EndEpoch)
+	if st := srv.Stats(); st.EpochVector != nil {
+		fmt.Printf("per-shard epoch vector: %v\n", st.EpochVector)
+	}
 	fmt.Printf("cache: hits=%d misses=%d coalesced=%d invalidations=%d\n",
 		res.Stats.CacheHits, res.Stats.CacheMisses, res.Stats.Coalesced, res.Stats.Invalidations)
 
 	after := srv.Search(spot)
-	fmt.Printf("\nepoch %-4d  %q -> %d experts (post-ingest)\n", live.Epoch(), spot, len(after))
+	fmt.Printf("\nepoch %-4d  %q -> %d experts (post-ingest)\n", backend.Epoch(), spot, len(after))
 
-	// Quiesce and verify: the live index must agree with a cold
-	// detector over base + everything that was ingested.
-	idx.Quiesce()
-	snap := idx.Snapshot()
+	// Quiesce and verify: the live index — sharded or not — must agree
+	// with a cold detector over base + everything that was ingested.
 	all := append([]microblog.Tweet(nil), pipeline.Corpus.Tweets()...)
-	for gid := pipeline.Corpus.NumTweets(); gid < snap.NumTweets(); gid++ {
-		all = append(all, *snap.Tweet(microblog.TweetID(gid)))
-	}
+	all = append(all, collect()...)
 	cold := core.NewDetector(pipeline.Collection, microblog.FromTweets(pipeline.World, all), online)
 	mismatches := 0
 	for _, q := range pool {
-		liveRes, _ := live.Search(q)
+		liveRes, _ := backend.Search(q)
 		coldRes, _ := cold.Search(q)
-		if len(liveRes) != len(coldRes) {
+		if !slices.Equal(liveRes, coldRes) {
 			mismatches++
-			continue
-		}
-		for i := range coldRes {
-			if liveRes[i] != coldRes[i] {
-				mismatches++
-				break
-			}
 		}
 	}
 	fmt.Printf("quiesced equivalence over %d queries: %d mismatches vs cold rebuild\n",

@@ -11,13 +11,18 @@
 // unions the matched tweets and ranks the pooled candidates once — the
 // two-phase architecture of Figure 1.
 //
-// The online stage comes in two flavours over the same algorithm:
-// Detector searches a frozen corpus, while LiveDetector (live.go)
-// searches the streaming index of internal/ingest — each query runs
-// against one epoch-tagged snapshot (base corpus + sealed segments +
-// active tail) acquired with a single atomic load, so tweets keep
-// arriving while searches run. A quiesced live index ranks
-// bit-identically to a cold Detector over the same posts.
+// The online stage comes in three flavours over the same algorithm:
+// Detector searches a frozen corpus; LiveDetector (live.go) searches
+// the streaming index of internal/ingest — each query runs against one
+// epoch-tagged snapshot (base corpus + sealed segments + active tail)
+// acquired with a single atomic load, so tweets keep arriving while
+// searches run; and ShardedLiveDetector (sharded.go) scatter-gathers
+// over the author-partitioned router of internal/shard — one snapshot
+// per shard, per-shard matching and raw-candidate extraction, a global
+// merge of the integer feature counters, one ranking pass. All three
+// are held to the same bar: a quiesced live or sharded index ranks
+// bit-identically to a cold Detector over the same posts. See
+// ARCHITECTURE.md at the repo root for the full layer-by-layer tour.
 package core
 
 import (
@@ -250,11 +255,12 @@ func (d *Detector) SearchBaseline(query string) []expertise.Expert {
 }
 
 // matchFanOut runs matchTerm(i) for every i in [0, nTerms), spread
-// over up to maxWorkers goroutines pulling term indices from a shared
-// counter (maxWorkers <= 0 means GOMAXPROCS). Short queries (one term,
-// or two with nothing to amortize the goroutine cost over) run
-// sequentially. Shared by the frozen and live search paths so their
-// parallelism heuristics cannot drift apart.
+// over up to maxWorkers goroutines (maxWorkers <= 0 means GOMAXPROCS).
+// Short queries (one term, or two with nothing to amortize the
+// goroutine cost over) run sequentially — a heuristic sized to cheap
+// per-term matches; heavier work units (per-shard scatter-gather)
+// should call fanOut directly. Shared by the frozen and live search
+// paths so their parallelism heuristics cannot drift apart.
 func matchFanOut(nTerms, maxWorkers int, matchTerm func(i int)) {
 	if maxWorkers <= 0 {
 		maxWorkers = runtime.GOMAXPROCS(0)
@@ -266,6 +272,19 @@ func matchFanOut(nTerms, maxWorkers int, matchTerm func(i int)) {
 		}
 		return
 	}
+	fanOut(nTerms, workers, matchTerm)
+}
+
+// fanOut runs task(i) for every i in [0, n) over exactly workers
+// goroutines pulling indices from a shared counter; workers <= 1 (or a
+// single task) runs inline.
+func fanOut(n, workers int, task func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -274,10 +293,10 @@ func matchFanOut(nTerms, maxWorkers int, matchTerm func(i int)) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= nTerms {
+				if i >= n {
 					return
 				}
-				matchTerm(i)
+				task(i)
 			}
 		}()
 	}

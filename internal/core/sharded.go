@@ -1,0 +1,190 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/domains"
+	"repro/internal/expertise"
+	"repro/internal/ingest"
+	"repro/internal/microblog"
+	"repro/internal/shard"
+)
+
+// ShardedLiveDetector is the online e# engine over an author-partitioned
+// stream (shard.Router): the same two-phase architecture as Detector
+// and LiveDetector, scaled out by scatter-gather. A query snapshots
+// every shard (one atomic load each), fans out across the shards —
+// each shard runs the zero-copy per-term match, the k-way tweet-id
+// union and raw-candidate extraction against its own immutable
+// snapshot — then gathers: per-user raw integer counters are merged
+// across shards (mention numerators and denominators span shards, so
+// only integer sums merge exactly) and a single global ranking pass
+// produces the top-k through the same bounded heap as every other
+// path. A quiesced N-shard router ranks bit-identically to the
+// single-node LiveDetector and to a cold Detector over the same posts,
+// for any N — the sharded equivalence tests enforce this.
+type ShardedLiveDetector struct {
+	collection *domains.Collection
+	router     *shard.Router
+	ranker     *expertise.Ranker
+	cfg        OnlineConfig
+	scratch    sync.Pool // of *shardedScratch, reused across queries
+}
+
+// shardScratch holds one shard's per-query buffers: a matched-id buffer
+// and segment-local scratch per expansion term, the merge frontier, the
+// shard-local union, and the extracted raw candidates.
+type shardScratch struct {
+	lists    [][]microblog.TweetID
+	locals   [][]microblog.TweetID
+	frontier [][]microblog.TweetID
+	merged   []microblog.TweetID
+	raw      []expertise.RawCandidate
+}
+
+// shardedScratch is the pooled per-query state of the sharded online
+// stage: the acquired snapshots, one shardScratch per shard, the
+// gather-stage list-of-lists view and the merged candidate pool.
+type shardedScratch struct {
+	snaps  []*ingest.Snapshot
+	shards []shardScratch
+	srcs   []expertise.Source
+	raws   [][]expertise.RawCandidate
+	cands  []expertise.Expert
+}
+
+// NewShardedLiveDetector wires the online stage over an
+// author-partitioned stream.
+func NewShardedLiveDetector(coll *domains.Collection, r *shard.Router, cfg OnlineConfig) *ShardedLiveDetector {
+	if cfg.MaxExpansionTerms <= 0 {
+		cfg.MaxExpansionTerms = 10
+	}
+	d := &ShardedLiveDetector{
+		collection: coll,
+		router:     r,
+		ranker:     expertise.NewRanker(len(r.World().Users), cfg.Expertise),
+		cfg:        cfg,
+	}
+	d.scratch.New = func() any { return &shardedScratch{} }
+	return d
+}
+
+// Collection returns the domain collection backing expansion.
+func (d *ShardedLiveDetector) Collection() *domains.Collection { return d.collection }
+
+// Router returns the author-partitioned stream being searched.
+func (d *ShardedLiveDetector) Router() *shard.Router { return d.router }
+
+// Epoch returns the scalar digest (component sum) of the router's
+// vector epoch; see EpochVector for the full vector the serving cache
+// invalidates on.
+func (d *ShardedLiveDetector) Epoch() uint64 { return d.router.Epoch() }
+
+// EpochVector appends the per-shard epochs of the view the next query
+// would observe to dst (capacity reused, contents discarded). The
+// serving layer tags cache entries with this vector and invalidates as
+// soon as any component advances.
+func (d *ShardedLiveDetector) EpochVector(dst []uint64) []uint64 {
+	return d.router.EpochVector(dst)
+}
+
+// Expand returns the expansion terms for a query (excluding the query
+// itself).
+func (d *ShardedLiveDetector) Expand(query string) []string {
+	return d.collection.ExpandMode(query, d.cfg.MaxExpansionTerms, d.cfg.Match)
+}
+
+// Search runs the full e# online stage scattered across the shards.
+// Safe for concurrent use with ingestion and compaction on every shard.
+func (d *ShardedLiveDetector) Search(query string) ([]expertise.Expert, SearchTrace) {
+	trace := SearchTrace{Query: query}
+
+	start := time.Now()
+	trace.Expansion = d.Expand(query)
+	trace.ExpandDuration = time.Since(start)
+
+	start = time.Now()
+	results, matched := d.scatterGather(query, trace.Expansion)
+	trace.MatchedTweets = matched
+	trace.SearchDuration = time.Since(start)
+	return results, trace
+}
+
+// SearchBaseline runs the unexpanded Pal & Counts baseline scattered
+// across the shards.
+func (d *ShardedLiveDetector) SearchBaseline(query string) []expertise.Expert {
+	results, _ := d.scatterGather(query, nil)
+	return results
+}
+
+// scatterGather is the shared read path: snapshot every shard, fan the
+// per-shard work (zero-copy matching, tweet-id union, raw-candidate
+// extraction) out over matchFanOut workers, then merge the per-shard
+// raw counters and rank once globally. It returns the ranked experts
+// and the total matched-tweet count (per-shard unions are disjoint —
+// every post lives on exactly one shard — so their sum is the size of
+// the global union).
+func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([]expertise.Expert, int) {
+	s := d.scratch.Get().(*shardedScratch)
+	n := d.router.NumShards()
+	s.snaps = d.router.Snapshots(s.snaps)
+	for len(s.shards) < n {
+		s.shards = append(s.shards, shardScratch{})
+	}
+
+	nTerms := 1 + len(expansion)
+	term := func(i int) string {
+		if i == 0 {
+			return query
+		}
+		return expansion[i-1]
+	}
+	// Fan out over shards directly (not through matchFanOut, whose
+	// short-query sequential heuristic is sized to cheap per-term
+	// matches): a shard's unit of work — every term matched, the union,
+	// the extraction — is heavy enough to parallelize even at N=2.
+	workers := d.cfg.MatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fanOut(n, min(n, workers), func(si int) {
+		sh := &s.shards[si]
+		snap := s.snaps[si]
+		for len(sh.lists) < nTerms {
+			sh.lists = append(sh.lists, nil)
+			sh.locals = append(sh.locals, nil)
+		}
+		lists := sh.lists[:nTerms]
+		for i := 0; i < nTerms; i++ {
+			lists[i], sh.locals[i] = snap.MatchAppendScratch(term(i), lists[i], sh.locals[i])
+		}
+		sh.merged, sh.frontier = expertise.MergeTweetsInto(sh.merged, sh.frontier, lists...)
+		sh.raw = d.ranker.RawCandidatesInto(sh.raw, snap, sh.merged)
+	})
+
+	matched := 0
+	s.raws = s.raws[:0]
+	s.srcs = s.srcs[:0]
+	for si := 0; si < n; si++ {
+		matched += len(s.shards[si].merged)
+		s.raws = append(s.raws, s.shards[si].raw)
+		s.srcs = append(s.srcs, s.snaps[si])
+	}
+	s.cands = d.ranker.MergeRawCandidates(s.cands, s.srcs, s.raws...)
+	results := d.ranker.Rank(s.cands)
+	// Drop the snapshot references before pooling the scratch: an idle
+	// pooled scratch must not pin retired segments (and their lazily
+	// built tail indexes) in memory between queries.
+	for i := range s.snaps {
+		s.snaps[i] = nil
+	}
+	s.snaps = s.snaps[:0]
+	for i := range s.srcs {
+		s.srcs[i] = nil
+	}
+	s.srcs = s.srcs[:0]
+	d.scratch.Put(s)
+	return results, matched
+}

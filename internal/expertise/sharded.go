@@ -1,0 +1,178 @@
+// Multi-source candidate extraction: the scatter-gather primitives the
+// sharded live index (internal/shard, core.ShardedLiveDetector) builds
+// on. A sharded query matches tweets independently on every shard and
+// must still rank bit-identically to a single-node search over the
+// union of the shards' content. Finished features cannot be merged
+// after the fact — TS, MI and RI are ratios, and a user's mention
+// counts span shards (a post mentioning u lives on its *author's*
+// shard, and may not even match the query there) — so the scatter
+// stage extracts raw integer numerators per shard (RawCandidatesInto)
+// and the gather stage sums numerators per user, sums each denominator
+// across every source (candidate or not, a user's denominators live
+// partly on every shard), and performs each floating-point division
+// exactly once, globally (MergeRawCandidates). Integer addition is
+// associative, so the summed inputs equal the single-node inputs
+// exactly, and the finalize math mirrors CandidatesFrom operation for
+// operation.
+
+package expertise
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/microblog"
+	"repro/internal/world"
+)
+
+// RawCandidate is one user's un-finalized ranking numerators from a
+// single source (shard): integer feature counts accumulated over that
+// source's matched tweets. All fields are additive, so raw candidates
+// for the same user from several shards merge exactly by summation.
+// Denominators are deliberately absent — they are summed across every
+// source at merge time, because a user's totals (mentions especially)
+// live partly on shards where the user never surfaced as a candidate.
+type RawCandidate struct {
+	User world.UserID
+	// Tweets, Mentions and Retweets are the TS/MI/RI numerators over
+	// this source's matched tweets; Hashtagged backs the extended HT
+	// feature and is only filled when an extended weight is set.
+	Tweets, Mentions, Retweets, Hashtagged int
+}
+
+// RawCandidatesInto extracts raw candidates from an explicit set of
+// matched tweet ids resolved against src, appending to dst (reusing its
+// capacity, discarding its contents) sorted by ascending user id. It is
+// the per-shard scatter stage: each shard's extraction reads only that
+// shard's snapshot, so shards proceed concurrently with no shared
+// state. Safe for concurrent use (the per-call arena is pooled).
+func (r *Ranker) RawCandidatesInto(dst []RawCandidate, src Source, matched []microblog.TweetID) []RawCandidate {
+	dst = dst[:0]
+	if len(matched) == 0 {
+		return dst
+	}
+	s := r.pool.Get().(*scratch)
+	defer func() {
+		for _, u := range s.touched {
+			s.byUser[u] = counters{}
+		}
+		s.touched = s.touched[:0]
+		r.pool.Put(s)
+	}()
+	get := func(u world.UserID) *counters {
+		c := &s.byUser[u]
+		if !c.seen {
+			c.seen = true
+			s.touched = append(s.touched, u)
+		}
+		return c
+	}
+	extended := r.params.WeightHT != 0 || r.params.WeightAV != 0 || r.params.WeightGI != 0
+	for _, tid := range matched {
+		tw := src.Tweet(tid)
+		a := get(tw.Author)
+		a.tweets++
+		a.retweets += tw.RetweetCount
+		if extended && hasHashtag(tw.Terms) {
+			a.hashtagged++
+		}
+		for _, m := range tw.Mentions {
+			get(m).mentions++
+		}
+	}
+	sort.Slice(s.touched, func(i, j int) bool { return s.touched[i] < s.touched[j] })
+	for _, u := range s.touched {
+		c := &s.byUser[u]
+		dst = append(dst, RawCandidate{
+			User:       u,
+			Tweets:     c.tweets,
+			Mentions:   c.mentions,
+			Retweets:   c.retweets,
+			Hashtagged: c.hashtagged,
+		})
+	}
+	return dst
+}
+
+// MergeRawCandidates is the gather stage: it k-way merges per-shard raw
+// candidate lists (each sorted by ascending user id, as
+// RawCandidatesInto emits them; lists[i] must be extracted from
+// srcs[i]), sums the numerators of users present on several shards,
+// sums each user's feature denominators across every source — a user's
+// authored-tweet and retweet totals live on the author's home shard,
+// but mention totals are spread over every shard that holds a post
+// mentioning them — and finalizes into the candidate pool Rank
+// expects, appended to dst (capacity reused, contents discarded) in
+// ascending user order, the same order CandidatesFrom produces and
+// Rank's z-score sums depend on. With integer sums equal to the
+// single-node counters and one global division per feature, the merged
+// pool is bit-identical to a single-node extraction over the union of
+// the sources' content.
+func (r *Ranker) MergeRawCandidates(dst []Expert, srcs []Source, lists ...[]RawCandidate) []Expert {
+	dst = dst[:0]
+	heads := make([]int, len(lists))
+	extended := r.params.WeightHT != 0 || r.params.WeightAV != 0 || r.params.WeightGI != 0
+	var w *world.World
+	if extended && len(srcs) > 0 {
+		w = srcs[0].World()
+	}
+	for {
+		// Find the smallest next user across the list heads. Shard
+		// counts are small (a handful to a few dozen), so a linear scan
+		// beats heap bookkeeping.
+		var minUser world.UserID
+		found := false
+		for li, l := range lists {
+			if heads[li] < len(l) {
+				if u := l[heads[li]].User; !found || u < minUser {
+					minUser, found = u, true
+				}
+			}
+		}
+		if !found {
+			return dst
+		}
+		var sum RawCandidate
+		sum.User = minUser
+		for li, l := range lists {
+			if heads[li] < len(l) && l[heads[li]].User == minUser {
+				rc := &l[heads[li]]
+				sum.Tweets += rc.Tweets
+				sum.Mentions += rc.Mentions
+				sum.Retweets += rc.Retweets
+				sum.Hashtagged += rc.Hashtagged
+				heads[li]++
+			}
+		}
+		var totTweets, totMentions, totRetweets int
+		for _, src := range srcs {
+			totTweets += src.NumTweetsBy(minUser)
+			totMentions += src.NumMentionsOf(minUser)
+			totRetweets += src.NumRetweetsOf(minUser)
+		}
+
+		// Finalize with the float operations of CandidatesFrom, exactly
+		// (same guards, same divisions), so the merged candidate is
+		// bit-identical to its single-node counterpart.
+		e := Expert{User: sum.User, OnTopicTweets: sum.Tweets}
+		if totTweets > 0 {
+			e.TS = float64(sum.Tweets) / float64(totTweets)
+		}
+		if totMentions > 0 {
+			e.MI = float64(sum.Mentions) / float64(totMentions)
+		}
+		if totRetweets > 0 {
+			e.RI = float64(sum.Retweets) / float64(totRetweets)
+		}
+		if extended {
+			if sum.Tweets > 0 {
+				e.HT = float64(sum.Hashtagged) / float64(sum.Tweets)
+				e.AV = float64(sum.Retweets) / float64(sum.Tweets)
+			}
+			if w != nil {
+				e.GI = math.Log1p(float64(w.User(sum.User).Followers))
+			}
+		}
+		dst = append(dst, e)
+	}
+}

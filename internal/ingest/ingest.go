@@ -24,6 +24,12 @@
 // base, sealed segments and the frozen tail, which makes a quiesced
 // live index bit-identical to a cold rebuild over the same posts — the
 // correctness bar the equivalence tests enforce.
+//
+// One Index is one node. Scale-out stacks on top rather than inside:
+// internal/shard runs N of these indexes behind an author-hash router,
+// and core.ShardedLiveDetector scatter-gathers queries across their
+// snapshots, composing the per-shard epochs into the vector epoch the
+// serving cache invalidates on. See ARCHITECTURE.md at the repo root.
 package ingest
 
 import (

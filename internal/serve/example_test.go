@@ -1,0 +1,43 @@
+package serve_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/domains"
+	"repro/internal/ingest"
+	"repro/internal/microblog"
+	"repro/internal/serve"
+	"repro/internal/world"
+)
+
+// ExampleServer shows the serving front-end over a live backend: the
+// first query computes and caches, the repeat hits, and an ingest
+// advances the backend's epoch so the stale entry is dropped and
+// recomputed instead of serving pre-ingest results.
+func ExampleServer() {
+	w := world.Build(world.TinyConfig())
+	base := microblog.BuildCorpus(w, []microblog.Post{
+		{Author: 0, Text: "espresso grinder settings"},
+	})
+	idx := ingest.New(base, ingest.DefaultConfig())
+	defer idx.Close()
+	// An empty collection means no query expansion — fine for a demo;
+	// production passes the mined domain collection.
+	live := core.NewLiveDetector(&domains.Collection{}, idx, core.DefaultOnlineConfig())
+	s := serve.New(live, serve.DefaultConfig())
+
+	s.Search("espresso") // cold miss -> computes and caches
+	s.Search("espresso") // warm hit
+	idx.Ingest(microblog.Post{Author: 1, Text: "espresso tasting notes"})
+	s.Search("espresso") // stale epoch -> invalidated, recomputed
+
+	st := s.Stats()
+	fmt.Println("queries:", st.Queries)
+	fmt.Println("hits:", st.CacheHits, "misses:", st.CacheMisses)
+	fmt.Println("invalidations:", st.Invalidations)
+	// Output:
+	// queries: 3
+	// hits: 1 misses: 2
+	// invalidations: 1
+}

@@ -5,9 +5,24 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/ingest"
 	"repro/internal/microblog"
+	"repro/internal/world"
 )
+
+// Sink is the write side a mixed load streams posts into. Both the
+// single-node streaming index (*ingest.Index) and the
+// author-partitioned router (*shard.Router) satisfy it, so the same
+// generator measures single-node and sharded mixed throughput.
+type Sink interface {
+	// Ingest accepts one post; the returned id is sink-local (global
+	// for an index, shard-local for a router).
+	Ingest(p microblog.Post) microblog.TweetID
+	// World returns the generating world posts are drawn from.
+	World() *world.World
+	// Epoch identifies the sink's current view (scalar digest for a
+	// sharded sink), used to report the churn a run caused.
+	Epoch() uint64
+}
 
 // LoadConfig parameterizes one load-generator run.
 type LoadConfig struct {
@@ -143,13 +158,14 @@ type MixedLoadResult struct {
 }
 
 // RunMixedLoad drives the server with cfg.Searches requests while
-// streaming cfg.Ingests posts into idx, and reports both throughputs.
-// Either side may be empty: a write-only run still ingests, a
-// read-only run degenerates to RunLoad semantics. Server counters are
-// reset at the start so Stats covers exactly this run. The server's
-// backend should be a live detector over idx — otherwise searches
-// never observe the writes.
-func RunMixedLoad(s *Server, idx *ingest.Index, cfg MixedLoadConfig) MixedLoadResult {
+// streaming cfg.Ingests posts into idx (a single-node *ingest.Index or
+// a sharded *shard.Router), and reports both throughputs. Either side
+// may be empty: a write-only run still ingests, a read-only run
+// degenerates to RunLoad semantics. Server counters are reset at the
+// start so Stats covers exactly this run. The server's backend should
+// be a live or sharded detector over idx — otherwise searches never
+// observe the writes.
+func RunMixedLoad(s *Server, idx Sink, cfg MixedLoadConfig) MixedLoadResult {
 	searching := cfg.Searches > 0 && len(cfg.Queries) > 0
 	if !searching {
 		cfg.Searches = 0

@@ -1,11 +1,12 @@
 // Package serve is the online serving layer of the reproduction: a
-// concurrent query front-end over a shared e# engine — frozen
-// (core.Detector) or live (core.LiveDetector over the streaming index
-// in internal/ingest). The paper's deployment answers expert queries
-// from production web-search traffic while new tweets keep arriving;
-// this package models that stage so serving throughput can be measured
-// and improved PR over PR under both read-only and mixed read/write
-// load.
+// concurrent query front-end over a shared e# engine behind the
+// Backend interface — frozen (core.Detector), live (core.LiveDetector
+// over the streaming index in internal/ingest) or sharded
+// (core.ShardedLiveDetector over the author-partitioned router in
+// internal/shard). The paper's deployment answers expert queries from
+// production web-search traffic while new tweets keep arriving; this
+// package models that stage so serving throughput can be measured and
+// improved PR over PR under both read-only and mixed read/write load.
 //
 // A Server multiplexes concurrent Search and SearchBaseline requests
 // over one Backend and fronts them with an LRU result cache keyed on
@@ -13,20 +14,29 @@
 // cheap under load:
 //
 //   - Epoch invalidation: every cache entry is tagged with the
-//     backend's epoch at compute time. A live backend bumps its epoch
-//     on every snapshot swap (ingest, seal, compaction), so a lookup
-//     that finds an entry from an older view drops it and recomputes
-//     instead of serving pre-ingest results. Frozen backends report a
-//     constant epoch and never invalidate.
+//     backend's view identity at compute time. A live backend bumps
+//     its epoch on every snapshot swap (ingest, seal, compaction), so
+//     a lookup that finds an entry from an older view drops it and
+//     recomputes instead of serving pre-ingest results. A sharded
+//     backend (VectorBackend) tags entries with the full vector of
+//     per-shard epochs, and an entry is stale as soon as any component
+//     advances — exactly one shard absorbing a post invalidates the
+//     results computed over the older composite view. Frozen backends
+//     report a constant epoch and never invalidate.
 //   - Singleflight: concurrent identical cold misses coalesce onto one
 //     in-flight computation; followers wait for the leader's result
-//     instead of running the detector N times.
+//     instead of running the detector N times. Coalescing keys on the
+//     normalized query, not the epoch sample, so cold misses under
+//     ingest churn still collapse; the leader's entry carries the
+//     epoch (or epoch vector) it sampled before computing, which is
+//     conservatively already stale if the index moved mid-flight.
 //
 // Build detectors with core.OnlineConfig.MatchWorkers = 1 when serving
 // concurrently: request-level parallelism already saturates the cores.
 // The load generators in loadgen.go drive a Server at configurable
-// concurrency — read-only (RunLoad) or mixed with live ingestion
-// (RunMixedLoad) — feeding the BenchmarkServeQPS* suite.
+// concurrency — read-only (RunLoad) or mixed with live ingestion into
+// any Sink, single-node index or sharded router alike (RunMixedLoad) —
+// feeding the BenchmarkServeQPS* suites here and in internal/shard.
 package serve
 
 import (
@@ -39,15 +49,32 @@ import (
 	"repro/internal/textutil"
 )
 
-// Backend is the query engine a Server fronts. Both core.Detector
-// (frozen index, constant epoch) and core.LiveDetector (streaming
-// index, epoch bumped on every snapshot swap) satisfy it.
+// Backend is the query engine a Server fronts. core.Detector (frozen
+// index, constant epoch), core.LiveDetector (streaming index, epoch
+// bumped on every snapshot swap) and core.ShardedLiveDetector
+// (author-partitioned stream; also a VectorBackend) all satisfy it.
 type Backend interface {
 	Search(query string) ([]expertise.Expert, core.SearchTrace)
 	SearchBaseline(query string) []expertise.Expert
 	// Epoch identifies the index view queries currently run against;
-	// cached results from older epochs are stale.
+	// cached results from older epochs are stale. Vector backends
+	// return a scalar digest here (the component sum) and expose the
+	// full vector through EpochVector.
 	Epoch() uint64
+}
+
+// VectorBackend is a Backend whose view identity is a vector of
+// per-shard epochs (core.ShardedLiveDetector over a shard.Router). A
+// Server detects the interface at construction and keys cache
+// invalidation on the vector: an entry is stale as soon as any
+// component advances past the entry's, so ingest on exactly one shard
+// invalidates results computed over the older composite view.
+type VectorBackend interface {
+	Backend
+	// EpochVector appends the per-shard epochs of the current view to
+	// dst (capacity reused, contents discarded). Components are
+	// per-shard monotonic.
+	EpochVector(dst []uint64) []uint64
 }
 
 // Config tunes a Server.
@@ -76,9 +103,13 @@ type Stats struct {
 	// epoch moved past the entry's (live ingestion made them stale).
 	Invalidations int64
 	// CacheEntries is the current number of cached results; Epoch is
-	// the backend's current epoch.
+	// the backend's current epoch (for a vector backend, the scalar
+	// digest — see EpochVector).
 	CacheEntries int
 	Epoch        uint64
+	// EpochVector is the backend's current per-shard epoch vector; nil
+	// for scalar backends.
+	EpochVector []uint64
 }
 
 // cacheKey distinguishes the two endpoints for one normalized query.
@@ -87,11 +118,15 @@ type cacheKey struct {
 	baseline bool
 }
 
-// cacheEntry is one LRU slot.
+// cacheEntry is one LRU slot. Exactly one of the epoch fields is
+// meaningful: scalar backends tag entries with epoch, vector backends
+// with epochVec (the buffer is owned by the entry and reused across
+// refreshes).
 type cacheEntry struct {
-	key     cacheKey
-	epoch   uint64
-	experts []expertise.Expert
+	key      cacheKey
+	epoch    uint64
+	epochVec []uint64
+	experts  []expertise.Expert
 }
 
 // flight is one in-progress computation that duplicate requests wait
@@ -106,6 +141,11 @@ type flight struct {
 type Server struct {
 	backend Backend
 	cfg     Config
+	// vec is non-nil when the backend exposes a per-shard epoch vector;
+	// vecPool recycles the per-request sample buffers so the hot path
+	// stays allocation-free once warm.
+	vec     VectorBackend
+	vecPool sync.Pool // of *[]uint64
 
 	queries, hits, misses    atomic.Int64
 	coalesced, invalidations atomic.Int64
@@ -118,10 +158,15 @@ type Server struct {
 	inflight map[cacheKey]*flight
 }
 
-// New wires a server over a backend (a frozen core.Detector or a live
-// core.LiveDetector).
+// New wires a server over a backend (a frozen core.Detector, a live
+// core.LiveDetector, or a sharded core.ShardedLiveDetector — the
+// latter's epoch vector is detected and used for cache invalidation).
 func New(b Backend, cfg Config) *Server {
 	s := &Server{backend: b, cfg: cfg, inflight: make(map[cacheKey]*flight)}
+	if vb, ok := b.(VectorBackend); ok {
+		s.vec = vb
+		s.vecPool.New = func() any { return new([]uint64) }
+	}
 	if cfg.CacheSize > 0 {
 		s.order = list.New()
 		s.slots = make(map[cacheKey]*list.Element, cfg.CacheSize)
@@ -147,10 +192,22 @@ func (s *Server) SearchBaseline(query string) []expertise.Expert {
 func (s *Server) serve(query string, baseline bool) []expertise.Expert {
 	s.queries.Add(1)
 	key := cacheKey{query: textutil.Normalize(query), baseline: baseline}
-	epoch := s.backend.Epoch()
+	// Sample the view identity before any cache decision: for a vector
+	// backend the full per-shard vector (into a pooled buffer), for a
+	// scalar backend the single epoch.
+	var epoch uint64
+	var evec []uint64
+	if s.vec != nil {
+		buf := s.vecPool.Get().(*[]uint64)
+		*buf = s.vec.EpochVector((*buf)[:0])
+		evec = *buf
+		defer s.vecPool.Put(buf)
+	} else {
+		epoch = s.backend.Epoch()
+	}
 
 	s.mu.Lock()
-	if experts, ok := s.lookupLocked(key, epoch); ok {
+	if experts, ok := s.lookupLocked(key, epoch, evec); ok {
 		s.mu.Unlock()
 		s.hits.Add(1)
 		return experts
@@ -178,11 +235,11 @@ func (s *Server) serve(query string, baseline bool) []expertise.Expert {
 	defer func() {
 		s.mu.Lock()
 		if completed {
-			// Tag the entry with the epoch sampled before computing: if
-			// the index moved mid-flight, the entry is conservatively
-			// already stale and the next lookup recomputes against the
-			// new view.
-			s.insertLocked(key, f.experts, epoch)
+			// Tag the entry with the epoch (or vector) sampled before
+			// computing: if the index moved mid-flight, the entry is
+			// conservatively already stale and the next lookup
+			// recomputes against the new view.
+			s.insertLocked(key, f.experts, epoch, evec)
 		}
 		delete(s.inflight, key)
 		s.mu.Unlock()
@@ -197,10 +254,30 @@ func (s *Server) serve(query string, baseline bool) []expertise.Expert {
 	return f.experts
 }
 
+// staleVec reports whether an entry tagged with vector entryVec is
+// stale against the request's sample: stale as soon as any component
+// advanced past the entry's. Components an entry is *ahead* on (a
+// concurrent request cached it after an ingest) do not count against
+// it — per-component monotonic forward steps are fresh, mirroring the
+// scalar rule. A length mismatch (resharded backend) is conservatively
+// stale.
+func staleVec(entryVec, sample []uint64) bool {
+	if len(entryVec) != len(sample) {
+		return true
+	}
+	for i, e := range entryVec {
+		if e < sample[i] {
+			return true
+		}
+	}
+	return false
+}
+
 // lookupLocked fetches a cached result and marks it most recently
-// used. An entry from an older epoch is dropped — the live index has
-// moved on, so serving it would return pre-ingest results.
-func (s *Server) lookupLocked(key cacheKey, epoch uint64) ([]expertise.Expert, bool) {
+// used. An entry from an older view — scalar epoch behind, or any
+// vector component behind — is dropped: the live index has moved on,
+// so serving it would return pre-ingest results.
+func (s *Server) lookupLocked(key cacheKey, epoch uint64, evec []uint64) ([]expertise.Expert, bool) {
 	if s.slots == nil {
 		return nil, false
 	}
@@ -209,10 +286,17 @@ func (s *Server) lookupLocked(key cacheKey, epoch uint64) ([]expertise.Expert, b
 		return nil, false
 	}
 	entry := el.Value.(*cacheEntry)
-	// Staleness only: an entry tagged newer than this request's epoch
-	// sample (a concurrent request cached it after an ingest) is fresh
-	// — serving it is a monotonic step forward, not a stale read.
-	if entry.epoch < epoch {
+	stale := false
+	if evec != nil {
+		stale = staleVec(entry.epochVec, evec)
+	} else {
+		// Staleness only: an entry tagged newer than this request's
+		// epoch sample (a concurrent request cached it after an ingest)
+		// is fresh — serving it is a monotonic step forward, not a
+		// stale read.
+		stale = entry.epoch < epoch
+	}
+	if stale {
 		s.order.Remove(el)
 		delete(s.slots, key)
 		s.invalidations.Add(1)
@@ -222,9 +306,10 @@ func (s *Server) lookupLocked(key cacheKey, epoch uint64) ([]expertise.Expert, b
 	return entry.experts, true
 }
 
-// insertLocked stores a result, evicting the least recently used entry
-// when the cache is full.
-func (s *Server) insertLocked(key cacheKey, experts []expertise.Expert, epoch uint64) {
+// insertLocked stores a result tagged with the request's sampled view
+// (scalar epoch or per-shard vector), evicting the least recently used
+// entry when the cache is full.
+func (s *Server) insertLocked(key cacheKey, experts []expertise.Expert, epoch uint64, evec []uint64) {
 	if s.slots == nil {
 		return
 	}
@@ -234,10 +319,15 @@ func (s *Server) insertLocked(key cacheKey, experts []expertise.Expert, epoch ui
 		entry := el.Value.(*cacheEntry)
 		entry.experts = experts
 		entry.epoch = epoch
+		entry.epochVec = append(entry.epochVec[:0], evec...)
 		s.order.MoveToFront(el)
 		return
 	}
-	s.slots[key] = s.order.PushFront(&cacheEntry{key: key, epoch: epoch, experts: experts})
+	entry := &cacheEntry{key: key, epoch: epoch, experts: experts}
+	if evec != nil {
+		entry.epochVec = append([]uint64(nil), evec...)
+	}
+	s.slots[key] = s.order.PushFront(entry)
 	if s.order.Len() > s.cfg.CacheSize {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
@@ -263,6 +353,9 @@ func (s *Server) Stats() Stats {
 		Coalesced:     s.coalesced.Load(),
 		Invalidations: s.invalidations.Load(),
 		Epoch:         s.backend.Epoch(),
+	}
+	if s.vec != nil {
+		st.EpochVector = s.vec.EpochVector(nil)
 	}
 	if s.slots != nil {
 		s.mu.Lock()

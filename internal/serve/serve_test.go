@@ -10,6 +10,7 @@ import (
 	"repro/internal/expertise"
 	"repro/internal/ingest"
 	"repro/internal/microblog"
+	"repro/internal/shard"
 )
 
 var (
@@ -462,5 +463,185 @@ func TestRunLoadParallelMatchesSequential(t *testing.T) {
 	}
 	if RunLoad(New(p.Detector, DefaultConfig()), LoadConfig{}).Queries != 0 {
 		t.Fatal("empty load should be a no-op")
+	}
+}
+
+// scriptedVectorBackend is a controllable VectorBackend: per-component
+// epochs, a call counter, and an optional gate, for pinning the
+// vector-epoch cache mechanics without a real sharded index.
+type scriptedVectorBackend struct {
+	scriptedBackend
+	components []atomic.Uint64
+}
+
+func newScriptedVectorBackend(n int) *scriptedVectorBackend {
+	return &scriptedVectorBackend{components: make([]atomic.Uint64, n)}
+}
+
+func (b *scriptedVectorBackend) EpochVector(dst []uint64) []uint64 {
+	dst = dst[:0]
+	for i := range b.components {
+		dst = append(dst, b.components[i].Load())
+	}
+	return dst
+}
+
+func (b *scriptedVectorBackend) Epoch() uint64 {
+	var sum uint64
+	for i := range b.components {
+		sum += b.components[i].Load()
+	}
+	return sum
+}
+
+// TestVectorEpochSingleComponentInvalidation pins the sharded staleness
+// contract: a cache entry written at vector epoch E must be invalidated
+// as soon as exactly one component advances — and stay fresh while the
+// vector is unchanged.
+func TestVectorEpochSingleComponentInvalidation(t *testing.T) {
+	backend := newScriptedVectorBackend(4)
+	s := New(backend, DefaultConfig())
+
+	s.Search("49ers") // miss -> cached under [0 0 0 0]
+	s.Search("49ers") // hit
+	if st := s.Stats(); st.CacheHits != 1 || st.CacheMisses != 1 || st.Invalidations != 0 {
+		t.Fatalf("before advance: %+v", st)
+	}
+
+	backend.components[2].Add(1) // one shard absorbs a post
+	s.Search("49ers")
+	st := s.Stats()
+	if st.CacheMisses != 2 || st.Invalidations != 1 {
+		t.Fatalf("single-component advance did not invalidate: %+v", st)
+	}
+	if len(st.EpochVector) != 4 || st.EpochVector[2] != 1 {
+		t.Fatalf("stats vector wrong: %v", st.EpochVector)
+	}
+
+	s.Search("49ers") // re-cached under [0 0 1 0]
+	if st := s.Stats(); st.CacheHits != 2 {
+		t.Fatalf("after re-cache: %+v", st)
+	}
+	// Every remaining component advancing one at a time keeps
+	// invalidating; an untouched vector keeps hitting.
+	for i := 0; i < 4; i++ {
+		backend.components[i].Add(1)
+		s.Search("49ers")
+	}
+	if st := s.Stats(); st.Invalidations != 5 {
+		t.Fatalf("per-component advances: %+v", st)
+	}
+}
+
+// TestVectorSingleflightColdMisses pins that coalescing keys on the
+// query, not the epoch vector: concurrent identical cold misses under a
+// sharded backend still collapse onto one computation.
+func TestVectorSingleflightColdMisses(t *testing.T) {
+	backend := newScriptedVectorBackend(4)
+	backend.gate = make(chan struct{})
+	s := New(backend, DefaultConfig())
+
+	const n = 8
+	results := make(chan []expertise.Expert, n)
+	go func() { results <- s.Search("49ers") }()
+	for backend.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// The index moves while the leader computes: followers sample newer
+	// vectors but must still coalesce instead of recomputing.
+	backend.components[1].Add(1)
+	for i := 1; i < n; i++ {
+		go func() { results <- s.Search("49ers") }()
+	}
+	for s.Stats().Queries < n {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(backend.gate)
+	for i := 0; i < n; i++ {
+		<-results
+	}
+
+	if calls := backend.calls.Load(); calls != 1 {
+		t.Fatalf("backend computed %d times, want 1", calls)
+	}
+	st := s.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != n-1 || st.Coalesced == 0 {
+		t.Fatalf("coalescing broke under vector epochs: %+v", st)
+	}
+	// The leader's entry carries its pre-compute vector [0 0 0 0]; the
+	// post-ingest view [0 1 0 0] makes it conservatively stale.
+	s.Search("49ers")
+	if st := s.Stats(); st.Invalidations != 1 {
+		t.Fatalf("mid-flight ingest should have staled the entry: %+v", st)
+	}
+}
+
+// TestShardedServerInvalidatesOnIngest is the end-to-end vector story:
+// a server over a ShardedLiveDetector stops serving pre-ingest results
+// as soon as any single shard absorbs a post, and the recomputed result
+// matches an uncached sharded search.
+func TestShardedServerInvalidatesOnIngest(t *testing.T) {
+	p := testPipeline(t)
+	r := shard.New(p.Corpus, shard.Config{Shards: 4, Ingest: ingest.DefaultConfig()})
+	defer r.Close()
+	sharded := core.NewShardedLiveDetector(p.Collection, r, p.Cfg.Online)
+	s := New(sharded, DefaultConfig())
+
+	s.Search("49ers")
+	s.Search("49ers")
+	if st := s.Stats(); st.CacheHits != 1 {
+		t.Fatalf("quiet stretch should hit: %+v", st)
+	}
+
+	// One post advances exactly one shard's component.
+	stream := microblog.NewPostStream(p.World, microblog.DefaultStreamConfig(73))
+	r.Ingest(stream.Next())
+	after := s.Search("49ers")
+	st := s.Stats()
+	if st.Invalidations != 1 || st.CacheMisses != 2 {
+		t.Fatalf("single-shard ingest did not invalidate: %+v", st)
+	}
+	want, _ := sharded.Search("49ers")
+	if !sameExperts(after, want) {
+		t.Fatal("post-ingest result does not match the sharded view")
+	}
+	if len(st.EpochVector) != 4 {
+		t.Fatalf("stats should carry the 4-component vector: %v", st.EpochVector)
+	}
+}
+
+// TestMixedLoadShardedSink drives the mixed read/write generator with a
+// sharded router as the ingest sink and checks both sides' accounting.
+func TestMixedLoadShardedSink(t *testing.T) {
+	p := testPipeline(t)
+	r := shard.New(p.Corpus, shard.Config{Shards: 4, Ingest: ingest.Config{SealThreshold: 64, CompactFanIn: 3}})
+	defer r.Close()
+	online := p.Cfg.Online
+	online.MatchWorkers = 1
+	sharded := core.NewShardedLiveDetector(p.Collection, r, online)
+	s := New(sharded, DefaultConfig())
+
+	res := RunMixedLoad(s, r, MixedLoadConfig{
+		Queries:       []string{"49ers", "diabetes", "nfl", "zzz-none"},
+		Searches:      60,
+		SearchWorkers: 4,
+		Ingests:       120,
+		IngestWorkers: 2,
+		BaselineEvery: 5,
+		Seed:          7,
+	})
+	if res.Searches != 60 || res.Stats.Queries != 60 {
+		t.Fatalf("bad search accounting: %+v", res)
+	}
+	if res.Ingested != 120 {
+		t.Fatalf("ingested %d posts, want 120", res.Ingested)
+	}
+	if st := r.Stats(); st.Ingested != 120 {
+		t.Fatalf("router saw %d ingests, want 120", st.Ingested)
+	}
+	if res.EndEpoch < res.StartEpoch+120 {
+		t.Fatalf("vector digest did not advance with ingestion: %d -> %d",
+			res.StartEpoch, res.EndEpoch)
 	}
 }

@@ -1,0 +1,316 @@
+package shard_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/expertise"
+	"repro/internal/ingest"
+	"repro/internal/microblog"
+	"repro/internal/shard"
+	"repro/internal/world"
+)
+
+var (
+	pipeOnce sync.Once
+	pipe     *core.Pipeline
+	pipeSets []eval.QuerySet
+	pipeErr  error
+)
+
+func testPipeline(t testing.TB) (*core.Pipeline, []eval.QuerySet) {
+	t.Helper()
+	pipeOnce.Do(func() {
+		pipe, pipeErr = core.BuildPipeline(core.TinyPipelineConfig())
+		if pipeErr == nil {
+			pipeSets = eval.BuildQuerySets(pipe.World, pipe.Log,
+				eval.SetSizes{PerCategory: 25, Top: 60})
+		}
+	})
+	if pipeErr != nil {
+		t.Fatal(pipeErr)
+	}
+	return pipe, pipeSets
+}
+
+func streamPosts(p *core.Pipeline, seed uint64, n int) []microblog.Post {
+	s := microblog.NewPostStream(p.World, microblog.DefaultStreamConfig(seed))
+	posts := make([]microblog.Post, n)
+	for i := range posts {
+		posts[i] = s.Next()
+	}
+	return posts
+}
+
+func expertsIdentical(t *testing.T, label, query string, got, want []expertise.Expert) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s %q: %d results, reference has %d", label, query, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s %q rank %d:\n  got  %+v\n  want %+v", label, query, i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardOfStability pins the routing hash: it must be a pure
+// function of (author, shard count) — stable across routers, processes
+// and restarts — and the golden values guard the hash constants against
+// accidental change (a constant change would silently re-partition
+// every deployed stream on upgrade).
+func TestShardOfStability(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		for u := world.UserID(0); u < 4096; u++ {
+			s1 := shard.ShardOf(u, n)
+			s2 := shard.ShardOf(u, n)
+			if s1 != s2 {
+				t.Fatalf("ShardOf(%d, %d) unstable: %d vs %d", u, n, s1, s2)
+			}
+			if s1 < 0 || s1 >= n {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", u, n, s1)
+			}
+		}
+	}
+	// Golden pins computed from the fixed splitmix64 finalizer.
+	pins := []struct {
+		u    world.UserID
+		n    int
+		want int
+	}{
+		{0, 1, 0}, {7, 1, 0},
+		{0, 4, 0}, {1, 4, 1}, {2, 4, 2}, {3, 4, 0}, {4, 4, 0},
+		{1, 8, 5}, {2, 8, 2}, {3, 8, 0},
+		{123456, 8, 0},
+	}
+	for _, p := range pins {
+		if got := shard.ShardOf(p.u, p.n); got != p.want {
+			t.Fatalf("golden pin: ShardOf(%d, %d) = %d, want %d (hash constants changed?)",
+				p.u, p.n, got, p.want)
+		}
+	}
+}
+
+// TestRouterAuthorAffinity pins the partition invariant: every base
+// tweet and every ingested post lands on ShardFor(author)'s index, and
+// the shards' contents sum to base plus everything ingested.
+func TestRouterAuthorAffinity(t *testing.T) {
+	p, _ := testPipeline(t)
+	posts := streamPosts(p, 61, 300)
+	r := shard.New(p.Corpus, shard.Config{Shards: 4, Ingest: ingest.Config{SealThreshold: 32, CompactFanIn: 3}})
+	defer r.Close()
+	r.IngestBatch(posts)
+	r.Quiesce()
+
+	total := 0
+	for i := 0; i < r.NumShards(); i++ {
+		snap := r.Shard(i).Snapshot()
+		total += snap.NumTweets()
+		for gid := 0; gid < snap.NumTweets(); gid++ {
+			tw := snap.Tweet(microblog.TweetID(gid))
+			if got := r.ShardFor(tw.Author); got != i {
+				t.Fatalf("shard %d holds a tweet by author %d, who routes to shard %d",
+					i, tw.Author, got)
+			}
+		}
+	}
+	if want := p.Corpus.NumTweets() + len(posts); total != want {
+		t.Fatalf("shards hold %d tweets in total, want %d", total, want)
+	}
+	st := r.Stats()
+	if st.Ingested != int64(len(posts)) {
+		t.Fatalf("router ingested %d, want %d", st.Ingested, len(posts))
+	}
+	if st.NumTweets != total {
+		t.Fatalf("stats count %d tweets, snapshots hold %d", st.NumTweets, total)
+	}
+}
+
+// TestShardedQuiescedEquivalence is the acceptance bar of the sharded
+// subsystem: for every shard count, after routing the same posts and
+// quiescing, the sharded detector must return bit-identical ranked
+// experts — and matched-tweet counts — to the single-node LiveDetector
+// and to a cold core.Detector rebuilt over the same posts, for every
+// query of every evaluation query set, on both the e# and the baseline
+// path.
+func TestShardedQuiescedEquivalence(t *testing.T) {
+	p, sets := testPipeline(t)
+	posts := streamPosts(p, 41, 400)
+
+	// Single-node live reference (same posts, one index) and cold
+	// rebuilt reference.
+	icfg := ingest.Config{SealThreshold: 32, CompactFanIn: 3}
+	single := ingest.New(p.Corpus, icfg)
+	defer single.Close()
+	single.IngestBatch(posts)
+	single.Quiesce()
+	live := core.NewLiveDetector(p.Collection, single, p.Cfg.Online)
+	cold := core.NewDetector(p.Collection, p.Corpus.ExtendedWith(posts), p.Cfg.Online)
+
+	for _, n := range []int{1, 2, 4, 8} {
+		r := shard.New(p.Corpus, shard.Config{Shards: n, Ingest: icfg})
+		r.IngestBatch(posts)
+		r.Quiesce()
+		sharded := core.NewShardedLiveDetector(p.Collection, r, p.Cfg.Online)
+
+		if ev := r.EpochVector(nil); len(ev) != n {
+			t.Fatalf("N=%d: epoch vector has %d components", n, len(ev))
+		}
+		total := 0
+		for _, set := range sets {
+			for _, q := range set.Queries {
+				total++
+				gotES, gotTrace := sharded.Search(q)
+				wantES, wantTrace := live.Search(q)
+				coldES, coldTrace := cold.Search(q)
+				expertsIdentical(t, "sharded-vs-live", q, gotES, wantES)
+				expertsIdentical(t, "sharded-vs-cold", q, gotES, coldES)
+				if gotTrace.MatchedTweets != wantTrace.MatchedTweets ||
+					gotTrace.MatchedTweets != coldTrace.MatchedTweets {
+					t.Fatalf("N=%d %q: matched %d tweets, live %d, cold %d", n, q,
+						gotTrace.MatchedTweets, wantTrace.MatchedTweets, coldTrace.MatchedTweets)
+				}
+				expertsIdentical(t, "sharded-baseline", q,
+					sharded.SearchBaseline(q), live.SearchBaseline(q))
+			}
+		}
+		if total == 0 {
+			t.Fatal("no queries in eval sets")
+		}
+		r.Close()
+	}
+}
+
+// TestShardedParallelMatchEquivalence forces the shard fan-out onto
+// multiple workers and checks it against the sequential sharded path.
+// N=2 matters: unlike the per-term heuristic, the shard fan-out
+// parallelizes even two shards (a shard's unit of work is heavy).
+func TestShardedParallelMatchEquivalence(t *testing.T) {
+	p, sets := testPipeline(t)
+	for _, shards := range []int{2, 4} {
+		r := shard.New(p.Corpus, shard.Config{Shards: shards, Ingest: ingest.Config{SealThreshold: 64, CompactFanIn: 3}})
+		r.IngestBatch(streamPosts(p, 43, 300))
+		r.Quiesce()
+
+		seqCfg := p.Cfg.Online
+		seqCfg.MatchWorkers = 1
+		parCfg := p.Cfg.Online
+		parCfg.MatchWorkers = 4
+		seq := core.NewShardedLiveDetector(p.Collection, r, seqCfg)
+		par := core.NewShardedLiveDetector(p.Collection, r, parCfg)
+		for _, set := range sets {
+			for _, q := range set.Queries {
+				want, _ := seq.Search(q)
+				got, _ := par.Search(q)
+				expertsIdentical(t, "parallel", q, got, want)
+			}
+		}
+		r.Close()
+	}
+}
+
+// TestEpochVectorSingleShardAdvance pins the vector-epoch contract: one
+// ingested post advances exactly its author's shard's component and
+// leaves every other component untouched.
+func TestEpochVectorSingleShardAdvance(t *testing.T) {
+	p, _ := testPipeline(t)
+	r := shard.New(p.Corpus, shard.Config{Shards: 4, Ingest: ingest.DefaultConfig()})
+	defer r.Close()
+
+	before := r.EpochVector(nil)
+	post := streamPosts(p, 67, 1)[0]
+	target := r.ShardFor(post.Author)
+	r.Ingest(post)
+	after := r.EpochVector(nil)
+
+	for i := range before {
+		switch {
+		case i == target && after[i] != before[i]+1:
+			t.Fatalf("author's shard %d epoch %d -> %d, want +1", i, before[i], after[i])
+		case i != target && after[i] != before[i]:
+			t.Fatalf("untouched shard %d epoch moved %d -> %d", i, before[i], after[i])
+		}
+	}
+	if r.Epoch() != before[0]+before[1]+before[2]+before[3]+1 {
+		t.Fatalf("scalar digest %d does not sum the vector", r.Epoch())
+	}
+}
+
+// TestConcurrentShardedIngestSearch is the -race hammer: concurrent
+// routed ingesters and scatter-gather searchers share one router while
+// every shard's compactor runs. Afterwards the quiesced router must
+// match a cold detector rebuilt from the shards' own final content.
+func TestConcurrentShardedIngestSearch(t *testing.T) {
+	p, _ := testPipeline(t)
+	r := shard.New(p.Corpus, shard.Config{Shards: 4, Ingest: ingest.Config{SealThreshold: 16, CompactFanIn: 3}})
+	defer r.Close()
+	sharded := core.NewShardedLiveDetector(p.Collection, r, p.Cfg.Online)
+	queries := []string{"49ers", "diabetes", "nfl", "dow futures", "coffee", "zzz-none"}
+	maxResults := p.Cfg.Online.Expertise.MaxResults
+
+	const ingesters, perIngester = 2, 150
+	const searchers, perSearcher = 4, 100
+	errs := make(chan error, searchers)
+	var wg sync.WaitGroup
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stream := microblog.NewPostStream(p.World, microblog.DefaultStreamConfig(uint64(200+g)))
+			for i := 0; i < perIngester; i++ {
+				r.Ingest(stream.Next())
+			}
+		}(g)
+	}
+	for g := 0; g < searchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSearcher; i++ {
+				q := queries[(g+i)%len(queries)]
+				var experts []expertise.Expert
+				if i%3 == 0 {
+					experts = sharded.SearchBaseline(q)
+				} else {
+					experts, _ = sharded.Search(q)
+				}
+				if maxResults > 0 && len(experts) > maxResults {
+					errs <- errInvariant("result cap exceeded")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	r.Quiesce()
+	if st := r.Stats(); st.Ingested != ingesters*perIngester {
+		t.Fatalf("ingested %d posts, want %d", st.Ingested, ingesters*perIngester)
+	}
+
+	// Cold rebuild from the shards' own final content.
+	all := append([]microblog.Tweet(nil), p.Corpus.Tweets()...)
+	for i := 0; i < r.NumShards(); i++ {
+		snap := r.Shard(i).Snapshot()
+		base := r.Shard(i).Base().NumTweets()
+		for gid := base; gid < snap.NumTweets(); gid++ {
+			all = append(all, *snap.Tweet(microblog.TweetID(gid)))
+		}
+	}
+	cold := core.NewDetector(p.Collection, microblog.FromTweets(p.World, all), p.Cfg.Online)
+	for _, q := range queries {
+		got, _ := sharded.Search(q)
+		want, _ := cold.Search(q)
+		expertsIdentical(t, "post-hammer", q, got, want)
+	}
+}
+
+type errInvariant string
+
+func (e errInvariant) Error() string { return string(e) }
