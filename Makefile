@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench cover check docs-check bench-shard
+.PHONY: all build test race vet bench cover cover-check check docs-check bench-shard bench-remote fuzz-smoke
 
 all: check
 
@@ -10,11 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The serving layer, the online detectors, the streaming index and the
-# sharded router are the concurrent surfaces; hammer them with the race
-# detector enabled.
+# The serving layer, the online detectors, the streaming index, the
+# sharded router and the wire transport are the concurrent surfaces;
+# hammer them with the race detector enabled.
 race:
-	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog ./internal/ingest ./internal/shard
+	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog ./internal/ingest ./internal/shard ./internal/transport
 
 vet:
 	$(GO) vet ./...
@@ -25,12 +25,13 @@ vet:
 docs-check: vet
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt -l found unformatted files:"; echo "$$fmtout"; exit 1; fi
-	$(GO) run ./cmd/docscheck ./internal/shard ./internal/core
+	$(GO) run ./cmd/docscheck ./internal/shard ./internal/core ./internal/transport
 
 # Hot-path and serving benchmarks; `make bench BENCH=.` runs everything
 # in the root package. Streaming benchmarks live in internal/ingest,
-# sharded scatter-gather benchmarks in internal/shard; BENCHMARKS.md
-# maps each name to the paper table or serving claim it backs.
+# sharded scatter-gather benchmarks in internal/shard, loopback wire
+# benchmarks in internal/transport; BENCHMARKS.md maps each name to the
+# paper table or serving claim it backs.
 BENCH ?= Table9|ServeQPS|OnlineSearch
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -run '^$$' .
@@ -41,9 +42,27 @@ bench-ingest:
 bench-shard:
 	$(GO) test -bench 'Sharded|EpochVector' -benchmem -run '^$$' ./internal/shard
 
+bench-remote:
+	$(GO) test -bench 'Remote|WireSearchCodec' -benchmem -run '^$$' ./internal/transport
+
+# A brief native-fuzz pass over the wire codec (FuzzDecodeFrame): the
+# decoders must never panic or over-allocate on adversarial input.
+# Raise FUZZTIME for longer local hunts.
+FUZZTIME ?= 15s
+fuzz-smoke:
+	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)
+
 # Coverage over the library packages, with a one-line total summary.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-check: build vet test race docs-check
+# CI-enforced coverage floor: the total must not sink below 80%.
+COVER_FLOOR ?= 80.0
+cover-check: cover
+	@total=$$($(GO) tool cover -func=coverage.out | tail -n 1 | awk '{gsub("%","",$$3); print $$3}'); \
+	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
+		if (t+0 < floor+0) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, floor; exit 1 } \
+		else { printf "coverage %.1f%% (floor %.1f%%)\n", t, floor } }'
+
+check: build vet test race docs-check cover-check

@@ -1,0 +1,83 @@
+// Shardd serves one shard of the author-partitioned expert index over
+// the wire protocol of internal/transport — the per-process half of
+// cross-process sharding. Each shardd builds the deterministic pipeline
+// (so every process, and the coordinator, agrees on the world and the
+// base corpus bit for bit), keeps exactly its partition —
+// shard.Partition(base, i, n), the same slice the in-process Router
+// would hand shard i — and serves searches, denominator fetches,
+// routed ingest and epoch/quiesce probes on one TCP address.
+//
+// A 4-shard deployment is four processes plus a coordinator:
+//
+//	shardd -addr :7101 -shard 0 -of 4 &
+//	shardd -addr :7102 -shard 1 -of 4 &
+//	shardd -addr :7103 -shard 2 -of 4 &
+//	shardd -addr :7104 -shard 3 -of 4 &
+//	go run ./examples/streaming -remote localhost:7101,localhost:7102,localhost:7103,localhost:7104
+//
+// The streaming example's final check then holds the whole deployment
+// to the usual bar: quiesced ranking over the wire must be
+// bit-identical to a cold single-process rebuild.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/shard"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run parses flags, builds the shard's slice of the deterministic
+// pipeline and serves it until the server is closed. When started is
+// non-nil it receives the listening server once ready (tests use it to
+// drive and then stop the process loop).
+func run(args []string, out io.Writer, started chan<- *transport.ShardServer) error {
+	fs := flag.NewFlagSet("shardd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", "127.0.0.1:7101", "TCP address to serve the shard on")
+	shardIdx := fs.Int("shard", 0, "index of the partition this process owns")
+	numShards := fs.Int("of", 1, "total number of partitions in the deployment")
+	seal := fs.Int("seal", 128, "active-segment seal threshold")
+	fanIn := fs.Int("fanin", 4, "compaction fan-in")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *numShards < 1 || *shardIdx < 0 || *shardIdx >= *numShards {
+		return fmt.Errorf("shardd: -shard %d -of %d is not a valid partition", *shardIdx, *numShards)
+	}
+
+	// The same deterministic build every shardd and the coordinator run;
+	// agreement is verified per-connection by the transport handshake.
+	pipeline, err := core.BuildPipeline(core.TinyPipelineConfig())
+	if err != nil {
+		return err
+	}
+	part := shard.Partition(pipeline.Corpus, *shardIdx, *numShards)
+	idx := ingest.New(part, ingest.Config{SealThreshold: *seal, CompactFanIn: *fanIn})
+	defer idx.Close()
+
+	srv, err := transport.Listen(*addr, idx, transport.DefaultServerConfig(*shardIdx, *numShards))
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(out, "shardd: shard %d/%d on %s — %d base tweets (%d total in world), seal %d, fan-in %d\n",
+		*shardIdx, *numShards, srv.Addr(), part.NumTweets(), pipeline.Corpus.NumTweets(), *seal, *fanIn)
+	if started != nil {
+		started <- srv
+	}
+	srv.Wait()
+	return nil
+}

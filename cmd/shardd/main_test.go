@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// TestRunServesAndStops boots a shardd on a free port, drives the wire
+// protocol against it like a coordinator would, and shuts it down.
+func TestRunServesAndStops(t *testing.T) {
+	started := make(chan *transport.ShardServer, 1)
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-shard", "0", "-of", "2", "-seal", "64"}, &out, started)
+	}()
+	srv := <-started
+
+	c := transport.NewRemoteShard(srv.Addr().String(), transport.DefaultClientConfig())
+	defer c.Close()
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shard != 0 || info.NumShards != 2 {
+		t.Fatalf("shardd serves %d/%d, want 0/2", info.Shard, info.NumShards)
+	}
+	if info.BaseTweets <= 0 || info.BaseTweets >= info.NumTweets+1 {
+		t.Fatalf("implausible partition: %+v", info)
+	}
+	rows, matched, v, err := c.Search([]string{"49ers"}, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Release()
+	if matched < 0 || len(rows) > matched*2 {
+		t.Fatalf("implausible search result: %d rows, %d matched", len(rows), matched)
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+	if !strings.Contains(out.String(), "shard 0/2") {
+		t.Fatalf("banner missing: %q", out.String())
+	}
+}
+
+// TestRunRejectsBadPartition pins the flag validation.
+func TestRunRejectsBadPartition(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-shard", "3", "-of", "2"}, &out, nil); err == nil {
+		t.Fatal("invalid partition accepted")
+	}
+	if err := run([]string{"-of", "0"}, &out, nil); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+}

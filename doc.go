@@ -8,16 +8,22 @@
 // (segmented streaming index: sealed corpus-backed segments, background
 // compaction, epoch-tagged atomic snapshots), the author-partitioned
 // shard router in internal/shard (N streaming indexes behind a stable
-// author hash, per-shard epochs composed into a vector epoch), the
-// concurrent serving layer in internal/serve (query front-end,
-// epoch- and vector-epoch-invalidated LRU result cache with in-flight
-// coalescing, read-only and mixed read/write load generators), and one
-// package per substrate (query-log synthesis, similarity graph,
-// relational engine, community detection, domain store, microblog
-// corpus, baseline detector, crowdsourcing simulation, experiment
-// harness). Executables are cmd/esharp and cmd/experiments; runnable
+// author hash and the shard.Backend query-surface interface, per-shard
+// epochs composed into a vector epoch), the cross-process wire in
+// internal/transport (length-prefixed TCP protocol: ShardServer serves
+// one shard, RemoteShard implements shard.Backend over it, so clusters
+// mix in-process and remote shards freely), the concurrent serving
+// layer in internal/serve (query front-end, epoch- and
+// vector-epoch-invalidated LRU result cache with in-flight coalescing,
+// partial-result surfacing, read-only and mixed read/write load
+// generators), and one package per substrate (query-log synthesis,
+// similarity graph, relational engine, community detection, domain
+// store, microblog corpus, baseline detector, crowdsourcing
+// simulation, experiment harness). Executables are cmd/esharp,
+// cmd/experiments and cmd/shardd (serves one shard over TCP); runnable
 // examples live in examples/ (examples/streaming drives live ingestion
-// under concurrent search, single-node or sharded via -shards N).
+// under concurrent search — single-node, sharded via -shards N, or
+// against shardd processes via -remote host:port,...).
 //
 // ARCHITECTURE.md is the layer-by-layer tour of the whole system —
 // data flow, the epoch/vector-epoch invalidation story, and the
@@ -27,8 +33,10 @@
 // benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation section and measure serving throughput
 // (BenchmarkServeQPS*), internal/ingest adds BenchmarkIngest* and
-// BenchmarkLiveSearch* for the streaming path, and internal/shard adds
+// BenchmarkLiveSearch* for the streaming path, internal/shard adds
 // BenchmarkLiveSearchSharded* and BenchmarkServeQPSShardedMixed* for
-// the sharded path. ROADMAP.md tracks the north star and open items,
-// and CHANGES.md records per-PR measurements.
+// the sharded path, and internal/transport adds
+// BenchmarkRemoteSearchSharded* for the cross-process path. ROADMAP.md
+// tracks the north star and open items, and CHANGES.md records per-PR
+// measurements.
 package repro

@@ -10,8 +10,14 @@
 // across N independent indexes behind a scatter-gather
 // core.ShardedLiveDetector (internal/shard), and the serving cache
 // invalidates on the vector of per-shard epochs instead of a single
-// counter. The final equivalence check is the same either way: the
-// (sharded) live index must agree with a cold rebuild bit for bit.
+// counter. With -remote host:port,... the shards live in other
+// processes (cmd/shardd, one per partition, started with matching
+// -shard/-of flags) and the scatter-gather runs over the wire protocol
+// of internal/transport — searches, denominator fetches, routed
+// ingest and the final quiesce all cross TCP. The equivalence check is
+// the same in every topology: the live index must agree with a cold
+// rebuild bit for bit, which for -remote means the wire itself is held
+// to the bar.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"runtime"
+	"strings"
 
 	"slices"
 
@@ -28,10 +35,29 @@ import (
 	"repro/internal/microblog"
 	"repro/internal/serve"
 	"repro/internal/shard"
+	"repro/internal/transport"
+	"repro/internal/world"
 )
+
+// clusterSink adapts a shard.Cluster (whose Ingest can fail — remote
+// shards sit behind a transport) to the infallible serve.Sink surface
+// the load generator drives; a failed ingest is simply dropped, the
+// fail-fast policy a demo load generator wants.
+type clusterSink struct{ c *shard.Cluster }
+
+func (s clusterSink) Ingest(p microblog.Post) microblog.TweetID {
+	id, err := s.c.Ingest(p)
+	if err != nil {
+		return -1
+	}
+	return id
+}
+func (s clusterSink) World() *world.World { return s.c.World() }
+func (s clusterSink) Epoch() uint64       { return s.c.Epoch() }
 
 func main() {
 	shards := flag.Int("shards", 1, "number of author-partitioned shards (1 = single-node live index)")
+	remote := flag.String("remote", "", "comma-separated shardd addresses; scatter-gather over the wire (overrides -shards)")
 	flag.Parse()
 
 	pipeline, err := core.BuildPipeline(core.TinyPipelineConfig())
@@ -57,7 +83,52 @@ func main() {
 		sink    serve.Sink
 		collect func() []microblog.Tweet // ingested tweets, for the cold rebuild
 	)
-	if *shards > 1 {
+	if *remote != "" {
+		addrs := strings.Split(*remote, ",")
+		n := len(addrs)
+		*shards = n
+		// One counting pass over the base gives every partition's size
+		// (no need to materialize the per-shard corpora the shardd
+		// processes themselves hold).
+		partSize := make([]int, n)
+		for _, tw := range pipeline.Corpus.Tweets() {
+			partSize[shard.ShardOf(tw.Author, n)]++
+		}
+		backends := make([]shard.Backend, n)
+		clients := make([]*transport.RemoteShard, n)
+		for i, addr := range addrs {
+			c := transport.NewRemoteShard(strings.TrimSpace(addr), transport.DefaultClientConfig())
+			defer c.Close()
+			// The handshake proves each process serves the partition this
+			// coordinator expects, over the identical deterministic base —
+			// a mismatched shardd would silently break the equivalence
+			// check below, so fail here instead.
+			if err := c.Handshake(i, n, len(pipeline.World.Users), partSize[i]); err != nil {
+				log.Fatal(err)
+			}
+			clients[i] = c
+			backends[i] = c
+		}
+		cluster := shard.NewCluster(pipeline.World, backends...)
+		backend = core.NewShardedLiveDetectorOver(pipeline.Collection, cluster, online)
+		sink = clusterSink{cluster}
+		collect = func() []microblog.Tweet {
+			if err := cluster.Quiesce(); err != nil {
+				log.Fatal(err)
+			}
+			var all []microblog.Tweet
+			for _, c := range clients {
+				posts, err := c.DumpIngested()
+				if err != nil {
+					log.Fatal(err)
+				}
+				for _, p := range posts {
+					all = append(all, microblog.MakeTweet(p))
+				}
+			}
+			return all
+		}
+	} else if *shards > 1 {
 		r := shard.New(pipeline.Corpus, shard.Config{Shards: *shards, Ingest: icfg})
 		defer r.Close()
 		backend = core.NewShardedLiveDetector(pipeline.Collection, r, online)
@@ -115,6 +186,10 @@ func main() {
 	}
 	fmt.Printf("cache: hits=%d misses=%d coalesced=%d invalidations=%d\n",
 		res.Stats.CacheHits, res.Stats.CacheMisses, res.Stats.Coalesced, res.Stats.Invalidations)
+	if res.Stats.PartialResults > 0 || res.Stats.Uncacheable > 0 {
+		fmt.Printf("degraded: partial=%d shard-errors=%d uncacheable=%d\n",
+			res.Stats.PartialResults, res.Stats.ShardErrors, res.Stats.Uncacheable)
+	}
 
 	after := srv.Search(spot)
 	fmt.Printf("\nepoch %-4d  %q -> %d experts (post-ingest)\n", backend.Epoch(), spot, len(after))

@@ -3,70 +3,103 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/domains"
 	"repro/internal/expertise"
-	"repro/internal/ingest"
-	"repro/internal/microblog"
 	"repro/internal/shard"
+	"repro/internal/world"
 )
 
+// EpochUnknown is the epoch-vector component reported for a shard whose
+// epoch cannot be observed (its transport failed). The serving layer
+// must treat any vector sample containing it as uncacheable.
+const EpochUnknown = shard.EpochUnknown
+
 // ShardedLiveDetector is the online e# engine over an author-partitioned
-// stream (shard.Router): the same two-phase architecture as Detector
-// and LiveDetector, scaled out by scatter-gather. A query snapshots
-// every shard (one atomic load each), fans out across the shards —
-// each shard runs the zero-copy per-term match, the k-way tweet-id
-// union and raw-candidate extraction against its own immutable
-// snapshot — then gathers: per-user raw integer counters are merged
-// across shards (mention numerators and denominators span shards, so
-// only integer sums merge exactly) and a single global ranking pass
-// produces the top-k through the same bounded heap as every other
-// path. A quiesced N-shard router ranks bit-identically to the
-// single-node LiveDetector and to a cold Detector over the same posts,
-// for any N — the sharded equivalence tests enforce this.
+// stream: the same two-phase architecture as Detector and LiveDetector,
+// scaled out by scatter-gather over a shard.Cluster — an ordered shard
+// set whose members are in-process (shard.Local over an ingest.Index,
+// the Router topology) or remote (transport.RemoteShard speaking the
+// wire protocol), in any mix, with this code unable to tell the
+// difference. A query fans the scatter stage out across the shards —
+// each shard matches every term, unions the tweet ids and extracts raw
+// integer candidate rows against one pinned view — then gathers:
+// numerators merge by summation, one batched denominator fetch per
+// shard runs against the same pinned views, and a single global ranking
+// pass produces the top-k. A quiesced N-shard cluster ranks
+// bit-identically to the single-node LiveDetector and to a cold
+// Detector over the same posts, for any N and any local/remote mix —
+// the sharded and remote equivalence tests enforce this.
+//
+// Failure policy is fail-fast partial results: a shard whose transport
+// errors contributes nothing to that query (no retry inside the query),
+// the remaining shards' results are returned, and the Partials counters
+// — surfaced through serve.Stats — record the degradation.
 type ShardedLiveDetector struct {
 	collection *domains.Collection
 	router     *shard.Router
+	cluster    *shard.Cluster
 	ranker     *expertise.Ranker
+	extended   bool
 	cfg        OnlineConfig
 	scratch    sync.Pool // of *shardedScratch, reused across queries
+
+	partialQueries atomic.Int64
+	shardErrors    atomic.Int64
 }
 
-// shardScratch holds one shard's per-query buffers: a matched-id buffer
-// and segment-local scratch per expansion term, the merge frontier, the
-// shard-local union, and the extracted raw candidates.
-type shardScratch struct {
-	lists    [][]microblog.TweetID
-	locals   [][]microblog.TweetID
-	frontier [][]microblog.TweetID
-	merged   []microblog.TweetID
-	raw      []expertise.RawCandidate
+// shardSlot holds one shard's per-query state: the extracted raw rows,
+// the shard's matched-union size, the pinned view, the denominator
+// fetch buffer and the per-phase errors.
+type shardSlot struct {
+	raw     []expertise.RawCandidate
+	matched int
+	view    shard.View
+	stats   []expertise.UserStats
+	err     error
 }
 
 // shardedScratch is the pooled per-query state of the sharded online
-// stage: the acquired snapshots, one shardScratch per shard, the
-// gather-stage list-of-lists view and the merged candidate pool.
+// stage: the term list, one slot per shard, the gather-stage merge
+// buffers and the finalized candidate pool.
 type shardedScratch struct {
-	snaps  []*ingest.Snapshot
-	shards []shardScratch
-	srcs   []expertise.Source
+	terms  []string
+	shards []shardSlot
 	raws   [][]expertise.RawCandidate
+	merged []expertise.RawCandidate
+	users  []world.UserID
+	denoms []expertise.UserStats
 	cands  []expertise.Expert
 }
 
-// NewShardedLiveDetector wires the online stage over an
-// author-partitioned stream.
+// NewShardedLiveDetector wires the online stage over an in-process
+// author-partitioned stream. The router's shards are addressed through
+// the same Backend interface remote shards speak, so this is exactly
+// NewShardedLiveDetectorOver(coll, r.Cluster(), cfg) plus the Router
+// accessor.
 func NewShardedLiveDetector(coll *domains.Collection, r *shard.Router, cfg OnlineConfig) *ShardedLiveDetector {
+	d := NewShardedLiveDetectorOver(coll, r.Cluster(), cfg)
+	d.router = r
+	return d
+}
+
+// NewShardedLiveDetectorOver wires the online stage over an explicit
+// shard cluster — local backends, remote backends behind a transport,
+// or a mix.
+func NewShardedLiveDetectorOver(coll *domains.Collection, c *shard.Cluster, cfg OnlineConfig) *ShardedLiveDetector {
 	if cfg.MaxExpansionTerms <= 0 {
 		cfg.MaxExpansionTerms = 10
 	}
 	d := &ShardedLiveDetector{
 		collection: coll,
-		router:     r,
-		ranker:     expertise.NewRanker(len(r.World().Users), cfg.Expertise),
+		cluster:    c,
+		ranker:     expertise.NewRanker(len(c.World().Users), cfg.Expertise),
 		cfg:        cfg,
 	}
+	p := d.ranker.Params()
+	d.extended = p.WeightHT != 0 || p.WeightAV != 0 || p.WeightGI != 0
 	d.scratch.New = func() any { return &shardedScratch{} }
 	return d
 }
@@ -74,20 +107,35 @@ func NewShardedLiveDetector(coll *domains.Collection, r *shard.Router, cfg Onlin
 // Collection returns the domain collection backing expansion.
 func (d *ShardedLiveDetector) Collection() *domains.Collection { return d.collection }
 
-// Router returns the author-partitioned stream being searched.
+// Router returns the in-process author-partitioned stream being
+// searched, or nil when the detector was built over an explicit
+// cluster (NewShardedLiveDetectorOver) rather than a Router.
 func (d *ShardedLiveDetector) Router() *shard.Router { return d.router }
 
-// Epoch returns the scalar digest (component sum) of the router's
+// Cluster returns the shard set being scatter-gathered over.
+func (d *ShardedLiveDetector) Cluster() *shard.Cluster { return d.cluster }
+
+// Epoch returns the scalar digest (component sum) of the cluster's
 // vector epoch; see EpochVector for the full vector the serving cache
 // invalidates on.
-func (d *ShardedLiveDetector) Epoch() uint64 { return d.router.Epoch() }
+func (d *ShardedLiveDetector) Epoch() uint64 { return d.cluster.Epoch() }
 
 // EpochVector appends the per-shard epochs of the view the next query
 // would observe to dst (capacity reused, contents discarded). The
 // serving layer tags cache entries with this vector and invalidates as
-// soon as any component advances.
+// soon as any component advances; a component whose shard could not be
+// reached is EpochUnknown, which makes the sample uncacheable.
 func (d *ShardedLiveDetector) EpochVector(dst []uint64) []uint64 {
-	return d.router.EpochVector(dst)
+	dst, _ = d.cluster.EpochVector(dst)
+	return dst
+}
+
+// PartialStats reports the fail-fast degradation counters: queries
+// answered with at least one shard missing from the result, and the
+// total number of per-shard failures behind them. Both are zero for an
+// all-local cluster.
+func (d *ShardedLiveDetector) PartialStats() (partialQueries, shardErrors int64) {
+	return d.partialQueries.Load(), d.shardErrors.Load()
 }
 
 // Expand returns the expansion terms for a query (excluding the query
@@ -119,72 +167,101 @@ func (d *ShardedLiveDetector) SearchBaseline(query string) []expertise.Expert {
 	return results
 }
 
-// scatterGather is the shared read path: snapshot every shard, fan the
-// per-shard work (zero-copy matching, tweet-id union, raw-candidate
-// extraction) out over matchFanOut workers, then merge the per-shard
-// raw counters and rank once globally. It returns the ranked experts
-// and the total matched-tweet count (per-shard unions are disjoint —
-// every post lives on exactly one shard — so their sum is the size of
-// the global union).
+// scatterGather is the shared read path: fan the scatter stage (each
+// shard matches every term against one pinned view, unions the ids and
+// extracts raw candidate rows) out over the shards, merge the integer
+// numerators, fan the batched per-shard denominator fetch out against
+// the same pinned views, then finalize and rank once globally. It
+// returns the ranked experts and the total matched-tweet count
+// (per-shard unions are disjoint — every post lives on exactly one
+// shard — so their sum is the size of the global union). A failing
+// shard is skipped fail-fast and counted in PartialStats.
 func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([]expertise.Expert, int) {
 	s := d.scratch.Get().(*shardedScratch)
-	n := d.router.NumShards()
-	s.snaps = d.router.Snapshots(s.snaps)
+	n := d.cluster.NumShards()
 	for len(s.shards) < n {
-		s.shards = append(s.shards, shardScratch{})
+		s.shards = append(s.shards, shardSlot{})
 	}
+	s.terms = append(s.terms[:0], query)
+	s.terms = append(s.terms, expansion...)
 
-	nTerms := 1 + len(expansion)
-	term := func(i int) string {
-		if i == 0 {
-			return query
-		}
-		return expansion[i-1]
-	}
 	// Fan out over shards directly (not through matchFanOut, whose
 	// short-query sequential heuristic is sized to cheap per-term
 	// matches): a shard's unit of work — every term matched, the union,
-	// the extraction — is heavy enough to parallelize even at N=2.
+	// the extraction, for a remote shard a network round trip — is heavy
+	// enough to parallelize even at N=2.
 	workers := d.cfg.MatchWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	fanOut(n, min(n, workers), func(si int) {
-		sh := &s.shards[si]
-		snap := s.snaps[si]
-		for len(sh.lists) < nTerms {
-			sh.lists = append(sh.lists, nil)
-			sh.locals = append(sh.locals, nil)
-		}
-		lists := sh.lists[:nTerms]
-		for i := 0; i < nTerms; i++ {
-			lists[i], sh.locals[i] = snap.MatchAppendScratch(term(i), lists[i], sh.locals[i])
-		}
-		sh.merged, sh.frontier = expertise.MergeTweetsInto(sh.merged, sh.frontier, lists...)
-		sh.raw = d.ranker.RawCandidatesInto(sh.raw, snap, sh.merged)
+		sl := &s.shards[si]
+		sl.view = nil
+		sl.raw, sl.matched, sl.view, sl.err =
+			d.cluster.Backend(si).Search(s.terms, d.extended, sl.raw)
 	})
 
 	matched := 0
 	s.raws = s.raws[:0]
-	s.srcs = s.srcs[:0]
 	for si := 0; si < n; si++ {
-		matched += len(s.shards[si].merged)
-		s.raws = append(s.raws, s.shards[si].raw)
-		s.srcs = append(s.srcs, s.snaps[si])
+		sl := &s.shards[si]
+		if sl.err != nil {
+			continue
+		}
+		matched += sl.matched
+		s.raws = append(s.raws, sl.raw)
 	}
-	s.cands = d.ranker.MergeRawCandidates(s.cands, s.srcs, s.raws...)
+	s.merged = expertise.MergeRawNumerators(s.merged, s.raws...)
+
+	// Gather stage phase two: one batched denominator fetch per live
+	// shard, against the view its candidates were extracted from. Every
+	// shard answers for the whole global candidate set — a user's
+	// mention denominators live partly on shards where the user never
+	// surfaced as a candidate.
+	s.users = s.users[:0]
+	for i := range s.merged {
+		s.users = append(s.users, s.merged[i].User)
+	}
+	if len(s.users) > 0 {
+		fanOut(n, min(n, workers), func(si int) {
+			sl := &s.shards[si]
+			if sl.err != nil {
+				return
+			}
+			sl.stats, sl.err = sl.view.Stats(s.users, sl.stats)
+		})
+	}
+	s.denoms = s.denoms[:0]
+	for range s.users {
+		s.denoms = append(s.denoms, expertise.UserStats{})
+	}
+	// failed counts shards missing from the result: a scatter failure
+	// contributes nothing at all; a shard that searched fine but failed
+	// its denominator fetch is partial too (its numerators are in the
+	// pool, its denominators are not) and joins the count.
+	failed := 0
+	for si := 0; si < n; si++ {
+		sl := &s.shards[si]
+		if sl.view != nil {
+			sl.view.Release()
+			sl.view = nil
+		}
+		if sl.err != nil {
+			sl.err = nil
+			failed++
+			continue
+		}
+		if len(s.users) > 0 {
+			expertise.AddUserStats(s.denoms, sl.stats)
+		}
+	}
+
+	s.cands = d.ranker.FinalizeRaw(s.cands, s.merged, s.denoms, d.cluster.World())
 	results := d.ranker.Rank(s.cands)
-	// Drop the snapshot references before pooling the scratch: an idle
-	// pooled scratch must not pin retired segments (and their lazily
-	// built tail indexes) in memory between queries.
-	for i := range s.snaps {
-		s.snaps[i] = nil
-	}
-	s.snaps = s.snaps[:0]
-	for i := range s.srcs {
-		s.srcs[i] = nil
-	}
-	s.srcs = s.srcs[:0]
 	d.scratch.Put(s)
+	if failed > 0 {
+		d.partialQueries.Add(1)
+		d.shardErrors.Add(int64(failed))
+	}
 	return results, matched
 }

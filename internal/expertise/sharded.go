@@ -40,6 +40,33 @@ type RawCandidate struct {
 	Tweets, Mentions, Retweets, Hashtagged int
 }
 
+// UserStats is one user's feature denominators contributed by a single
+// source: authored tweets, mentions received, retweets received. Like
+// RawCandidate the fields are additive integers, so per-shard triples
+// sum exactly across any partition — they are the second half of the
+// scatter-gather wire contract (a shard reports numerators for its
+// candidates and, on request, denominators for any user list).
+type UserStats struct {
+	Tweets, Mentions, Retweets int
+}
+
+// SourceStatsInto appends src's denominator triple for each user to dst
+// (capacity reused, contents discarded): the batched form of the
+// NumTweetsBy/NumMentionsOf/NumRetweetsOf getters that one
+// gather-stage call — or one RPC — fetches for the whole candidate
+// set at once.
+func SourceStatsInto(dst []UserStats, src Source, users []world.UserID) []UserStats {
+	dst = dst[:0]
+	for _, u := range users {
+		dst = append(dst, UserStats{
+			Tweets:   src.NumTweetsBy(u),
+			Mentions: src.NumMentionsOf(u),
+			Retweets: src.NumRetweetsOf(u),
+		})
+	}
+	return dst
+}
+
 // RawCandidatesInto extracts raw candidates from an explicit set of
 // matched tweet ids resolved against src, appending to dst (reusing its
 // capacity, discarding its contents) sorted by ascending user id. It is
@@ -47,6 +74,20 @@ type RawCandidate struct {
 // shard's snapshot, so shards proceed concurrently with no shared
 // state. Safe for concurrent use (the per-call arena is pooled).
 func (r *Ranker) RawCandidatesInto(dst []RawCandidate, src Source, matched []microblog.TweetID) []RawCandidate {
+	return r.RawCandidatesModeInto(dst, src, matched, r.extendedFeatures())
+}
+
+// extendedFeatures reports whether any extended feature weight is set,
+// i.e. whether extraction must also count hashtagged posts.
+func (r *Ranker) extendedFeatures() bool {
+	return r.params.WeightHT != 0 || r.params.WeightAV != 0 || r.params.WeightGI != 0
+}
+
+// RawCandidatesModeInto is RawCandidatesInto with the extended-feature
+// collection made explicit. A transport.ShardServer extracts on behalf
+// of a remote coordinator whose parameter set it does not share, so the
+// request carries the flag instead of deriving it from local weights.
+func (r *Ranker) RawCandidatesModeInto(dst []RawCandidate, src Source, matched []microblog.TweetID, extended bool) []RawCandidate {
 	dst = dst[:0]
 	if len(matched) == 0 {
 		return dst
@@ -67,7 +108,6 @@ func (r *Ranker) RawCandidatesInto(dst []RawCandidate, src Source, matched []mic
 		}
 		return c
 	}
-	extended := r.params.WeightHT != 0 || r.params.WeightAV != 0 || r.params.WeightGI != 0
 	for _, tid := range matched {
 		tw := src.Tweet(tid)
 		a := get(tw.Author)
@@ -109,13 +149,40 @@ func (r *Ranker) RawCandidatesInto(dst []RawCandidate, src Source, matched []mic
 // pool is bit-identical to a single-node extraction over the union of
 // the sources' content.
 func (r *Ranker) MergeRawCandidates(dst []Expert, srcs []Source, lists ...[]RawCandidate) []Expert {
-	dst = dst[:0]
-	heads := make([]int, len(lists))
-	extended := r.params.WeightHT != 0 || r.params.WeightAV != 0 || r.params.WeightGI != 0
+	merged := MergeRawNumerators(nil, lists...)
+	// Sum each user's denominator triple across every source. Integer
+	// addition is associative, so fetching a whole shard's triples in one
+	// batch (the transport-shaped call order) produces the same totals as
+	// the per-user per-source getter loop this wrapper replaced.
+	denoms := make([]UserStats, len(merged))
+	users := make([]world.UserID, len(merged))
+	for i, rc := range merged {
+		users[i] = rc.User
+	}
+	var stats []UserStats
+	for _, src := range srcs {
+		stats = SourceStatsInto(stats, src, users)
+		AddUserStats(denoms, stats)
+	}
 	var w *world.World
-	if extended && len(srcs) > 0 {
+	if len(srcs) > 0 {
 		w = srcs[0].World()
 	}
+	return r.FinalizeRaw(dst, merged, denoms, w)
+}
+
+// MergeRawNumerators is the integer half of the gather stage: it k-way
+// merges per-shard raw candidate lists (each sorted by ascending user
+// id, as RawCandidatesInto emits them), summing the numerators of users
+// present on several shards, appended to dst (capacity reused, contents
+// discarded) in ascending user order — the order CandidatesFrom
+// produces and Rank's z-score sums depend on. No floating point is
+// involved, which is what lets the merge run anywhere — in process or
+// on a scatter-gather coordinator summing rows that arrived over a
+// wire — with a bit-identical outcome.
+func MergeRawNumerators(dst []RawCandidate, lists ...[]RawCandidate) []RawCandidate {
+	dst = dst[:0]
+	heads := make([]int, len(lists))
 	for {
 		// Find the smallest next user across the list heads. Shard
 		// counts are small (a handful to a few dozen), so a linear scan
@@ -144,25 +211,49 @@ func (r *Ranker) MergeRawCandidates(dst []Expert, srcs []Source, lists ...[]RawC
 				heads[li]++
 			}
 		}
-		var totTweets, totMentions, totRetweets int
-		for _, src := range srcs {
-			totTweets += src.NumTweetsBy(minUser)
-			totMentions += src.NumMentionsOf(minUser)
-			totRetweets += src.NumRetweetsOf(minUser)
-		}
+		dst = append(dst, sum)
+	}
+}
+
+// AddUserStats accumulates one source's denominator triples into the
+// running totals, element-wise. add must be positionally aligned with
+// dst (triple i belongs to the same user in both).
+func AddUserStats(dst, add []UserStats) {
+	for i := range add {
+		dst[i].Tweets += add[i].Tweets
+		dst[i].Mentions += add[i].Mentions
+		dst[i].Retweets += add[i].Retweets
+	}
+}
+
+// FinalizeRaw is the floating-point half of the gather stage: it turns
+// globally summed numerators (merged, from MergeRawNumerators) and
+// globally summed denominators (denoms, positionally aligned with
+// merged) into the candidate pool Rank expects, appended to dst
+// (capacity reused, contents discarded). Each division happens exactly
+// once, with the same guards as CandidatesFrom, so the pool is
+// bit-identical to a single-node extraction over the union of the
+// sources' content. w supplies follower counts for the extended GI
+// feature and may be nil when no extended weight is set.
+func (r *Ranker) FinalizeRaw(dst []Expert, merged []RawCandidate, denoms []UserStats, w *world.World) []Expert {
+	dst = dst[:0]
+	extended := r.extendedFeatures()
+	for i := range merged {
+		sum := &merged[i]
+		tot := &denoms[i]
 
 		// Finalize with the float operations of CandidatesFrom, exactly
 		// (same guards, same divisions), so the merged candidate is
 		// bit-identical to its single-node counterpart.
 		e := Expert{User: sum.User, OnTopicTweets: sum.Tweets}
-		if totTweets > 0 {
-			e.TS = float64(sum.Tweets) / float64(totTweets)
+		if tot.Tweets > 0 {
+			e.TS = float64(sum.Tweets) / float64(tot.Tweets)
 		}
-		if totMentions > 0 {
-			e.MI = float64(sum.Mentions) / float64(totMentions)
+		if tot.Mentions > 0 {
+			e.MI = float64(sum.Mentions) / float64(tot.Mentions)
 		}
-		if totRetweets > 0 {
-			e.RI = float64(sum.Retweets) / float64(totRetweets)
+		if tot.Retweets > 0 {
+			e.RI = float64(sum.Retweets) / float64(tot.Retweets)
 		}
 		if extended {
 			if sum.Tweets > 0 {
@@ -175,4 +266,5 @@ func (r *Ranker) MergeRawCandidates(dst []Expert, srcs []Source, lists ...[]RawC
 		}
 		dst = append(dst, e)
 	}
+	return dst
 }

@@ -1,0 +1,173 @@
+// Wire encoding of the scatter-gather exchange rows. The sharded read
+// path is transport-shaped by construction — RawCandidate and UserStats
+// carry only additive integer counters, no floats and no shared memory
+// — so this file is all that is needed to move the per-shard merge
+// inputs across a process boundary: a compact varint encoding with
+// delta-compressed user ids (both row kinds travel sorted or
+// positionally aligned to a sorted user list). internal/transport
+// frames these encodings; the decoders never trust a length field
+// further than the bytes actually present, so an adversarial frame can
+// neither panic the decoder nor make it over-allocate.
+
+package expertise
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/world"
+)
+
+// ErrWireTruncated reports an encoding that ends mid-row or whose
+// element count exceeds the bytes that follow it.
+var ErrWireTruncated = errors.New("expertise: truncated wire encoding")
+
+// AppendRawCandidates appends a length-prefixed encoding of rcs to buf:
+// a row count, then per row the user id (delta-encoded against the
+// previous row — the lists travel sorted by ascending user) and the
+// four numerator counters, all uvarints.
+func AppendRawCandidates(buf []byte, rcs []RawCandidate) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(rcs)))
+	prev := uint64(0)
+	for i := range rcs {
+		u := uint64(rcs[i].User)
+		buf = binary.AppendUvarint(buf, u-prev)
+		prev = u
+		buf = binary.AppendUvarint(buf, uint64(rcs[i].Tweets))
+		buf = binary.AppendUvarint(buf, uint64(rcs[i].Mentions))
+		buf = binary.AppendUvarint(buf, uint64(rcs[i].Retweets))
+		buf = binary.AppendUvarint(buf, uint64(rcs[i].Hashtagged))
+	}
+	return buf
+}
+
+// ConsumeRawCandidates decodes an AppendRawCandidates encoding from the
+// front of buf, appending rows to dst (capacity reused, contents
+// discarded), and returns the filled slice plus the remaining bytes.
+// The claimed row count is validated against the bytes present (every
+// row occupies at least five bytes) before anything is allocated.
+func ConsumeRawCandidates(dst []RawCandidate, buf []byte) ([]RawCandidate, []byte, error) {
+	dst = dst[:0]
+	n, buf, err := consumeCount(buf, 5)
+	if err != nil {
+		return dst, buf, fmt.Errorf("raw candidates: %w", err)
+	}
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		var fields [5]uint64
+		for f := range fields {
+			fields[f], buf, err = consumeUvarint(buf)
+			if err != nil {
+				return dst, buf, fmt.Errorf("raw candidate row %d: %w", i, err)
+			}
+		}
+		prev += fields[0]
+		dst = append(dst, RawCandidate{
+			User:       world.UserID(prev),
+			Tweets:     int(fields[1]),
+			Mentions:   int(fields[2]),
+			Retweets:   int(fields[3]),
+			Hashtagged: int(fields[4]),
+		})
+	}
+	return dst, buf, nil
+}
+
+// AppendUserStats appends a length-prefixed encoding of the denominator
+// triples to buf. The rows are positionally aligned with the request's
+// user list, so no user ids travel — just a count and three uvarints
+// per row.
+func AppendUserStats(buf []byte, stats []UserStats) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(stats)))
+	for i := range stats {
+		buf = binary.AppendUvarint(buf, uint64(stats[i].Tweets))
+		buf = binary.AppendUvarint(buf, uint64(stats[i].Mentions))
+		buf = binary.AppendUvarint(buf, uint64(stats[i].Retweets))
+	}
+	return buf
+}
+
+// ConsumeUserStats decodes an AppendUserStats encoding from the front
+// of buf, appending triples to dst (capacity reused, contents
+// discarded), and returns the filled slice plus the remaining bytes.
+func ConsumeUserStats(dst []UserStats, buf []byte) ([]UserStats, []byte, error) {
+	dst = dst[:0]
+	n, buf, err := consumeCount(buf, 3)
+	if err != nil {
+		return dst, buf, fmt.Errorf("user stats: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		var fields [3]uint64
+		for f := range fields {
+			fields[f], buf, err = consumeUvarint(buf)
+			if err != nil {
+				return dst, buf, fmt.Errorf("user stats row %d: %w", i, err)
+			}
+		}
+		dst = append(dst, UserStats{
+			Tweets:   int(fields[0]),
+			Mentions: int(fields[1]),
+			Retweets: int(fields[2]),
+		})
+	}
+	return dst, buf, nil
+}
+
+// AppendUserIDs appends a length-prefixed, delta-compressed encoding of
+// an ascending user id list to buf — the stats request's payload.
+func AppendUserIDs(buf []byte, users []world.UserID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(users)))
+	prev := uint64(0)
+	for _, u := range users {
+		buf = binary.AppendUvarint(buf, uint64(u)-prev)
+		prev = uint64(u)
+	}
+	return buf
+}
+
+// ConsumeUserIDs decodes an AppendUserIDs encoding from the front of
+// buf, appending ids to dst (capacity reused, contents discarded), and
+// returns the filled slice plus the remaining bytes.
+func ConsumeUserIDs(dst []world.UserID, buf []byte) ([]world.UserID, []byte, error) {
+	dst = dst[:0]
+	n, buf, err := consumeCount(buf, 1)
+	if err != nil {
+		return dst, buf, fmt.Errorf("user ids: %w", err)
+	}
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		var d uint64
+		d, buf, err = consumeUvarint(buf)
+		if err != nil {
+			return dst, buf, fmt.Errorf("user id %d: %w", i, err)
+		}
+		prev += d
+		dst = append(dst, world.UserID(prev))
+	}
+	return dst, buf, nil
+}
+
+// consumeCount reads an element count and rejects it unless the
+// remaining bytes could plausibly hold that many elements of at least
+// minBytes each — the over-allocation guard: a hostile count can never
+// drive an allocation past the data actually received.
+func consumeCount(buf []byte, minBytes int) (int, []byte, error) {
+	n, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return 0, buf, err
+	}
+	if n > uint64(len(buf)/minBytes) {
+		return 0, buf, fmt.Errorf("count %d exceeds payload: %w", n, ErrWireTruncated)
+	}
+	return int(n), buf, nil
+}
+
+// consumeUvarint reads one uvarint off the front of buf.
+func consumeUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, buf, ErrWireTruncated
+	}
+	return v, buf[n:], nil
+}

@@ -64,17 +64,29 @@ type Backend interface {
 }
 
 // VectorBackend is a Backend whose view identity is a vector of
-// per-shard epochs (core.ShardedLiveDetector over a shard.Router). A
-// Server detects the interface at construction and keys cache
-// invalidation on the vector: an entry is stale as soon as any
-// component advances past the entry's, so ingest on exactly one shard
-// invalidates results computed over the older composite view.
+// per-shard epochs (core.ShardedLiveDetector over a shard.Router or a
+// remote cluster). A Server detects the interface at construction and
+// keys cache invalidation on the vector: an entry is stale as soon as
+// any component advances past the entry's, so ingest on exactly one
+// shard invalidates results computed over the older composite view.
 type VectorBackend interface {
 	Backend
 	// EpochVector appends the per-shard epochs of the current view to
 	// dst (capacity reused, contents discarded). Components are
-	// per-shard monotonic.
+	// per-shard monotonic, except that an unobservable shard (its
+	// transport failed) reports core.EpochUnknown — the server bypasses
+	// the cache entirely for such samples, in both directions.
 	EpochVector(dst []uint64) []uint64
+}
+
+// PartialReporter is a Backend that can degrade to partial results
+// when some of its shards are unreachable (core.ShardedLiveDetector
+// over remote shards). A Server detects the interface at construction
+// and surfaces the counters through Stats.
+type PartialReporter interface {
+	// PartialStats reports queries answered with at least one shard
+	// missing, and the total per-shard failures behind them.
+	PartialStats() (partialQueries, shardErrors int64)
 }
 
 // Config tunes a Server.
@@ -108,8 +120,19 @@ type Stats struct {
 	CacheEntries int
 	Epoch        uint64
 	// EpochVector is the backend's current per-shard epoch vector; nil
-	// for scalar backends.
+	// for scalar backends. A core.EpochUnknown component means that
+	// shard's transport is failing right now.
 	EpochVector []uint64
+	// Uncacheable counts requests served around the cache because the
+	// epoch-vector sample contained an unknown component (a shard's
+	// transport failed mid-sample): such a view can neither be trusted
+	// against cached entries nor admit new ones.
+	Uncacheable int64
+	// PartialResults and ShardErrors mirror the backend's fail-fast
+	// degradation counters (PartialReporter): queries answered with at
+	// least one shard missing, and the per-shard failures behind them.
+	// Zero for backends that cannot degrade.
+	PartialResults, ShardErrors int64
 }
 
 // cacheKey distinguishes the two endpoints for one normalized query.
@@ -143,12 +166,15 @@ type Server struct {
 	cfg     Config
 	// vec is non-nil when the backend exposes a per-shard epoch vector;
 	// vecPool recycles the per-request sample buffers so the hot path
-	// stays allocation-free once warm.
+	// stays allocation-free once warm. partial is non-nil when the
+	// backend reports fail-fast degradation counters.
 	vec     VectorBackend
 	vecPool sync.Pool // of *[]uint64
+	partial PartialReporter
 
 	queries, hits, misses    atomic.Int64
 	coalesced, invalidations atomic.Int64
+	uncacheable              atomic.Int64
 
 	// mu guards the LRU structures and the in-flight table; detector
 	// calls run outside the lock.
@@ -166,6 +192,9 @@ func New(b Backend, cfg Config) *Server {
 	if vb, ok := b.(VectorBackend); ok {
 		s.vec = vb
 		s.vecPool.New = func() any { return new([]uint64) }
+	}
+	if pr, ok := b.(PartialReporter); ok {
+		s.partial = pr
 	}
 	if cfg.CacheSize > 0 {
 		s.order = list.New()
@@ -197,20 +226,36 @@ func (s *Server) serve(query string, baseline bool) []expertise.Expert {
 	// scalar backend the single epoch.
 	var epoch uint64
 	var evec []uint64
+	uncacheable := false
 	if s.vec != nil {
 		buf := s.vecPool.Get().(*[]uint64)
 		*buf = s.vec.EpochVector((*buf)[:0])
 		evec = *buf
 		defer s.vecPool.Put(buf)
+		// A sample with an unknown component (a shard's transport failed
+		// mid-sample) identifies no view at all: it can neither be
+		// compared against cached entries nor tag a new one, so this
+		// request goes around the cache in both directions. In-flight
+		// coalescing still applies — identical degraded requests share
+		// one computation.
+		for _, e := range evec {
+			if e == core.EpochUnknown {
+				uncacheable = true
+				s.uncacheable.Add(1)
+				break
+			}
+		}
 	} else {
 		epoch = s.backend.Epoch()
 	}
 
 	s.mu.Lock()
-	if experts, ok := s.lookupLocked(key, epoch, evec); ok {
-		s.mu.Unlock()
-		s.hits.Add(1)
-		return experts
+	if !uncacheable {
+		if experts, ok := s.lookupLocked(key, epoch, evec); ok {
+			s.mu.Unlock()
+			s.hits.Add(1)
+			return experts
+		}
 	}
 	if f := s.inflight[key]; f != nil {
 		// An identical request is already computing: coalesce onto it.
@@ -234,7 +279,7 @@ func (s *Server) serve(query string, baseline bool) []expertise.Expert {
 	completed := false
 	defer func() {
 		s.mu.Lock()
-		if completed {
+		if completed && !uncacheable {
 			// Tag the entry with the epoch (or vector) sampled before
 			// computing: if the index moved mid-flight, the entry is
 			// conservatively already stale and the next lookup
@@ -335,13 +380,15 @@ func (s *Server) insertLocked(key cacheKey, experts []expertise.Expert, epoch ui
 	}
 }
 
-// ResetStats zeroes the counters (the cache contents are kept).
+// ResetStats zeroes the counters (the cache contents are kept). The
+// backend's partial-result counters are cumulative and not reset.
 func (s *Server) ResetStats() {
 	s.queries.Store(0)
 	s.hits.Store(0)
 	s.misses.Store(0)
 	s.coalesced.Store(0)
 	s.invalidations.Store(0)
+	s.uncacheable.Store(0)
 }
 
 // Stats snapshots the counters.
@@ -352,10 +399,14 @@ func (s *Server) Stats() Stats {
 		CacheMisses:   s.misses.Load(),
 		Coalesced:     s.coalesced.Load(),
 		Invalidations: s.invalidations.Load(),
+		Uncacheable:   s.uncacheable.Load(),
 		Epoch:         s.backend.Epoch(),
 	}
 	if s.vec != nil {
 		st.EpochVector = s.vec.EpochVector(nil)
+	}
+	if s.partial != nil {
+		st.PartialResults, st.ShardErrors = s.partial.PartialStats()
 	}
 	if s.slots != nil {
 		s.mu.Lock()

@@ -645,3 +645,80 @@ func TestMixedLoadShardedSink(t *testing.T) {
 			res.StartEpoch, res.EndEpoch)
 	}
 }
+
+// TestRunLoadEdgeCases covers the load generator's degenerate inputs:
+// zero totals and empty query pools return an empty result instead of
+// hanging or dividing by zero, and worker counts are clamped to the
+// request total.
+func TestRunLoadEdgeCases(t *testing.T) {
+	p := testPipeline(t)
+	s := New(p.Detector, DefaultConfig())
+
+	if res := RunLoad(s, LoadConfig{Total: 0, Queries: []string{"nfl"}}); res.Queries != 0 {
+		t.Fatalf("zero-total run reported %d queries", res.Queries)
+	}
+	if res := RunLoad(s, LoadConfig{Total: 100}); res.Queries != 0 {
+		t.Fatalf("empty-pool run reported %d queries", res.Queries)
+	}
+	// More workers than requests: every request still runs exactly once.
+	res := RunLoad(s, LoadConfig{Total: 3, Workers: 64, Queries: []string{"49ers"}})
+	if res.Queries != 3 || res.Stats.Queries != 3 {
+		t.Fatalf("clamped run served %d/%d queries, want 3", res.Queries, res.Stats.Queries)
+	}
+	// BaselineEvery=1 routes every request to the baseline endpoint.
+	s.ResetStats()
+	res = RunLoad(s, LoadConfig{Total: 4, Queries: []string{"49ers"}, BaselineEvery: 1})
+	if res.Stats.Queries != 4 {
+		t.Fatalf("baseline-only run served %d", res.Stats.Queries)
+	}
+	if want := len(s.SearchBaseline("49ers")); want > 0 && res.Answered != 4 {
+		t.Fatalf("baseline-only run answered %d of 4", res.Answered)
+	}
+}
+
+// TestRunMixedLoadWriteOnlyAndReadOnly covers the Sink-facing halves of
+// the mixed generator separately: a write-only run must push exactly
+// Ingests posts into the sink and move its epoch with zero searches; a
+// run with no ingests degenerates to pure read load; an all-empty
+// config returns the zero result.
+func TestRunMixedLoadWriteOnlyAndReadOnly(t *testing.T) {
+	p := testPipeline(t)
+	idx := ingest.New(p.Corpus, ingest.DefaultConfig())
+	defer idx.Close()
+	live := core.NewLiveDetector(p.Collection, idx, p.Cfg.Online)
+	s := New(live, DefaultConfig())
+
+	if res := RunMixedLoad(s, idx, MixedLoadConfig{}); res.Ingested != 0 || res.Searches != 0 {
+		t.Fatalf("all-empty mixed run did something: %+v", res)
+	}
+
+	before := idx.Stats()
+	res := RunMixedLoad(s, idx, MixedLoadConfig{Ingests: 120, IngestWorkers: 3, Seed: 7})
+	if res.Searches != 0 || res.Ingested != 120 {
+		t.Fatalf("write-only run: %d searches, %d ingests", res.Searches, res.Ingested)
+	}
+	if res.EndEpoch <= res.StartEpoch {
+		t.Fatalf("write-only run did not advance the epoch: %d -> %d", res.StartEpoch, res.EndEpoch)
+	}
+	if after := idx.Stats(); after.Ingested != before.Ingested+120 {
+		t.Fatalf("sink absorbed %d posts, want +120", after.Ingested-before.Ingested)
+	}
+
+	// Searches>0 with an empty pool is treated as read-silent, not a
+	// divide-by-zero.
+	if res := RunMixedLoad(s, idx, MixedLoadConfig{Searches: 50, Ingests: 10}); res.Searches != 0 || res.Ingested != 10 {
+		t.Fatalf("empty-pool mixed run: %+v", res)
+	}
+
+	// Read-only: no ingest workers spin up, epochs stay put.
+	res = RunMixedLoad(s, idx, MixedLoadConfig{Queries: []string{"49ers", "nfl"}, Searches: 40, SearchWorkers: 4, BaselineEvery: 3})
+	if res.Ingested != 0 || res.Searches != 40 {
+		t.Fatalf("read-only run: %+v", res)
+	}
+	if res.EndEpoch != res.StartEpoch {
+		t.Fatalf("read-only run moved the epoch: %d -> %d", res.StartEpoch, res.EndEpoch)
+	}
+	if res.Stats.Queries != 40 {
+		t.Fatalf("server saw %d queries, want 40", res.Stats.Queries)
+	}
+}

@@ -1,0 +1,363 @@
+// The per-shard query surface the scatter-gather read path addresses.
+// PR 3 left the shards in-process — core.ShardedLiveDetector reached
+// straight into each ingest.Index snapshot. This file lifts that
+// contact surface into an interface narrow enough to put a wire behind:
+// a shard answers a term-set search with raw integer candidate rows and
+// a pinned view, the pinned view answers one batched denominator fetch,
+// and writes arrive as routed posts. A Local wraps an ingest.Index
+// in-process; transport.RemoteShard speaks the same interface to a
+// transport.ShardServer over TCP; and a Cluster composes any mix of the
+// two behind the routing and epoch-vector surfaces the detector and the
+// serving cache consume.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/expertise"
+	"repro/internal/ingest"
+	"repro/internal/microblog"
+	"repro/internal/world"
+)
+
+// EpochUnknown is the epoch-vector component a Cluster reports for a
+// shard whose epoch it cannot observe (the shard's transport failed).
+// The serving layer treats any sample containing it as uncacheable —
+// an unobservable view must neither serve nor admit cache entries.
+const EpochUnknown = ^uint64(0)
+
+// Backend is one shard of the author-partitioned stream as the
+// scatter-gather read path addresses it — local (a Local over an
+// ingest.Index) or remote (a transport.RemoteShard speaking the wire
+// protocol to a transport.ShardServer). Every method may fail: a local
+// backend never does, a remote one fails fast when its transport does,
+// and the caller (core.ShardedLiveDetector) degrades to partial
+// results. Implementations are safe for concurrent use.
+type Backend interface {
+	// Search runs the per-shard scatter stage against one pinned
+	// immutable view: match every term, union the per-term id lists,
+	// and extract raw candidates, appended to raw (capacity reused,
+	// contents discarded) in ascending user order. It returns the
+	// filled row slice, the size of the matched-tweet union, and a View
+	// pinned to the exact state the rows were extracted from. The
+	// caller must Release the view, error or not search again on it.
+	// extended asks extraction to also count hashtagged posts (the
+	// extended feature set); it travels with the request because a
+	// remote shard does not share the coordinator's parameter set.
+	Search(terms []string, extended bool, raw []expertise.RawCandidate) (rows []expertise.RawCandidate, matched int, v View, err error)
+	// Ingest appends one post to the shard's stream and returns the
+	// shard-local tweet id it was assigned.
+	Ingest(p microblog.Post) (microblog.TweetID, error)
+	// IngestBatch appends posts in order. A remote backend ships the
+	// whole batch in a handful of frames instead of one round trip per
+	// post.
+	IngestBatch(posts []microblog.Post) error
+	// Epoch returns the shard's current snapshot epoch.
+	Epoch() (uint64, error)
+	// Quiesce synchronously drains the shard's eligible compactions.
+	Quiesce() error
+	// Close releases the backend: a Local stops its index's compactor,
+	// a remote client closes its connections (the remote server keeps
+	// running).
+	Close() error
+}
+
+// View is one pinned immutable shard state, handed out by
+// Backend.Search so the gather stage's denominator fetch reads the
+// same state candidate extraction did — for a local shard an
+// ingest.Snapshot, for a remote shard a connection whose server end
+// pinned the snapshot. Views are single-query, single-goroutine
+// objects; Release returns the underlying resources for reuse.
+type View interface {
+	// Stats appends the shard's denominator triple for each user to dst
+	// (capacity reused, contents discarded), evaluated against the
+	// pinned state. users must be ascending (the wire encoding is
+	// delta-compressed).
+	Stats(users []world.UserID, dst []expertise.UserStats) ([]expertise.UserStats, error)
+	// Release returns the view's resources. No method may be called
+	// afterwards.
+	Release()
+}
+
+// Local adapts one ingest.Index to the Backend interface: the
+// in-process implementation the Router serves its shards through, and
+// the execution engine a transport.ShardServer dispatches decoded
+// frames to — both sides of the wire run exactly this code, which is
+// how the equivalence spine survives the process boundary. Safe for
+// concurrent use; per-query buffers are pooled.
+type Local struct {
+	idx    *ingest.Index
+	ranker *expertise.Ranker
+	pool   sync.Pool // of *localScratch
+	views  sync.Pool // of *localView
+}
+
+var _ Backend = (*Local)(nil)
+
+// localScratch holds one query's match buffers: a matched-id buffer and
+// segment-local scratch per term, the merge frontier and the union.
+type localScratch struct {
+	lists    [][]microblog.TweetID
+	locals   [][]microblog.TweetID
+	frontier [][]microblog.TweetID
+	merged   []microblog.TweetID
+}
+
+// NewLocal wraps a streaming index as a Backend.
+func NewLocal(idx *ingest.Index) *Local {
+	l := &Local{
+		idx: idx,
+		// Extraction needs only the arena (sized to the user universe)
+		// and the explicit extended flag; ranking weights stay with the
+		// coordinator.
+		ranker: expertise.NewRanker(len(idx.World().Users), expertise.DefaultParams()),
+	}
+	l.pool.New = func() any { return &localScratch{} }
+	l.views.New = func() any { return &localView{owner: l} }
+	return l
+}
+
+// Index returns the wrapped streaming index.
+func (l *Local) Index() *ingest.Index { return l.idx }
+
+// Search implements Backend: one atomic snapshot load pins the view,
+// every term runs the zero-copy per-segment match, the per-term lists
+// union through the k-way merge, and raw candidates are extracted from
+// the union — the identical per-shard unit of work the PR 3 in-process
+// fan-out ran inline.
+func (l *Local) Search(terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, View, error) {
+	snap := l.idx.Snapshot()
+	s := l.pool.Get().(*localScratch)
+	for len(s.lists) < len(terms) {
+		s.lists = append(s.lists, nil)
+		s.locals = append(s.locals, nil)
+	}
+	lists := s.lists[:len(terms)]
+	for i, t := range terms {
+		lists[i], s.locals[i] = snap.MatchAppendScratch(t, lists[i], s.locals[i])
+	}
+	s.merged, s.frontier = expertise.MergeTweetsInto(s.merged, s.frontier, lists...)
+	raw = l.ranker.RawCandidatesModeInto(raw, snap, s.merged, extended)
+	matched := len(s.merged)
+	l.pool.Put(s)
+
+	v := l.views.Get().(*localView)
+	v.snap = snap
+	return raw, matched, v, nil
+}
+
+// View pins the current snapshot without running a search — the stats
+// surface a protocol peer may hit on a connection that has not searched
+// yet.
+func (l *Local) View() View {
+	v := l.views.Get().(*localView)
+	v.snap = l.idx.Snapshot()
+	return v
+}
+
+// Ingest implements Backend.
+func (l *Local) Ingest(p microblog.Post) (microblog.TweetID, error) {
+	return l.idx.Ingest(p), nil
+}
+
+// IngestBatch implements Backend.
+func (l *Local) IngestBatch(posts []microblog.Post) error {
+	for _, p := range posts {
+		l.idx.Ingest(p)
+	}
+	return nil
+}
+
+// Epoch implements Backend.
+func (l *Local) Epoch() (uint64, error) { return l.idx.Epoch(), nil }
+
+// Quiesce implements Backend.
+func (l *Local) Quiesce() error {
+	l.idx.Quiesce()
+	return nil
+}
+
+// Close implements Backend: it stops the index's background compactor.
+// The index remains readable and writable; Close is idempotent.
+func (l *Local) Close() error {
+	l.idx.Close()
+	return nil
+}
+
+// localView is a pinned ingest.Snapshot plus its pool slot.
+type localView struct {
+	owner *Local
+	snap  *ingest.Snapshot
+}
+
+// Stats implements View against the pinned snapshot.
+func (v *localView) Stats(users []world.UserID, dst []expertise.UserStats) ([]expertise.UserStats, error) {
+	return expertise.SourceStatsInto(dst, v.snap, users), nil
+}
+
+// Release implements View. Dropping the snapshot reference matters: a
+// pooled idle view must not pin retired segments (and their lazily
+// built tail indexes) in memory between queries.
+func (v *localView) Release() {
+	v.snap = nil
+	v.owner.views.Put(v)
+}
+
+// Cluster composes an ordered shard set — any mix of Local and remote
+// backends — behind the surfaces the write path, the scatter-gather
+// detector and the serving cache consume: author-hash write routing
+// (position in the backend list is the shard index ShardOf routes to),
+// the per-shard epoch vector and its scalar digest, and whole-cluster
+// quiesce/close. A Router's shards form the all-local special case
+// (Router.Cluster); cmd/shardd plus transport.RemoteShard clients form
+// the all-remote one; mixing them is how a deployment drains one
+// process at a time.
+type Cluster struct {
+	w        *world.World
+	backends []Backend
+	// allLocal notes a cluster with no transport behind it: epoch
+	// sampling stays a tight sequential loop (nanoseconds per shard)
+	// instead of paying goroutine fan-out on every cache lookup.
+	allLocal bool
+}
+
+// NewCluster assembles a cluster over an ordered backend list. Backend
+// i must hold exactly the authors ShardOf routes to i — for remote
+// backends that contract is established at deployment (cmd/shardd's
+// -shard/-of flags) and checked by the transport handshake.
+func NewCluster(w *world.World, backends ...Backend) *Cluster {
+	c := &Cluster{w: w, backends: backends, allLocal: true}
+	for _, b := range backends {
+		if _, ok := b.(*Local); !ok {
+			c.allLocal = false
+			break
+		}
+	}
+	return c
+}
+
+// World returns the generating world shared by every shard.
+func (c *Cluster) World() *world.World { return c.w }
+
+// NumShards returns the partition count.
+func (c *Cluster) NumShards() int { return len(c.backends) }
+
+// Backend returns the i-th shard.
+func (c *Cluster) Backend(i int) Backend { return c.backends[i] }
+
+// ShardFor returns the shard index the user's posts route to.
+func (c *Cluster) ShardFor(u world.UserID) int { return ShardOf(u, len(c.backends)) }
+
+// Ingest routes one post to its author's shard and returns the
+// shard-local tweet id. Safe for concurrent use.
+func (c *Cluster) Ingest(p microblog.Post) (microblog.TweetID, error) {
+	return c.backends[ShardOf(p.Author, len(c.backends))].Ingest(p)
+}
+
+// IngestBatch routes posts to their author shards, preserving per-shard
+// arrival order for a single caller, and ships each shard's run as a
+// batch (one wire frame per run for remote backends). The first error
+// aborts the remainder.
+func (c *Cluster) IngestBatch(posts []microblog.Post) error {
+	for start := 0; start < len(posts); {
+		si := ShardOf(posts[start].Author, len(c.backends))
+		end := start + 1
+		for end < len(posts) && ShardOf(posts[end].Author, len(c.backends)) == si {
+			end++
+		}
+		if err := c.backends[si].IngestBatch(posts[start:end]); err != nil {
+			return fmt.Errorf("shard %d: %w", si, err)
+		}
+		start = end
+	}
+	return nil
+}
+
+// EpochVector appends each shard's current epoch to dst (capacity
+// reused, contents discarded). A shard whose epoch cannot be observed
+// contributes EpochUnknown — the serving cache bypasses itself for
+// such samples — and the first failure is also returned. For an
+// all-local cluster the sample is a tight loop of atomic loads; with
+// remote members each probe is an RPC, so the probes run concurrently
+// — one slow or timing-out shard costs one round trip, not N stacked
+// ones, and healthy shards never wait behind a dead one.
+func (c *Cluster) EpochVector(dst []uint64) ([]uint64, error) {
+	dst = dst[:0]
+	if c.allLocal || len(c.backends) == 1 {
+		var firstErr error
+		for i, b := range c.backends {
+			e, err := b.Epoch()
+			if err != nil {
+				e = EpochUnknown
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard %d: %w", i, err)
+				}
+			}
+			dst = append(dst, e)
+		}
+		return dst, firstErr
+	}
+	for range c.backends {
+		dst = append(dst, 0)
+	}
+	errs := make([]error, len(c.backends))
+	var wg sync.WaitGroup
+	wg.Add(len(c.backends))
+	for i, b := range c.backends {
+		go func(i int, b Backend) {
+			defer wg.Done()
+			e, err := b.Epoch()
+			if err != nil {
+				e = EpochUnknown
+				errs[i] = err
+			}
+			dst[i] = e
+		}(i, b)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return dst, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return dst, nil
+}
+
+// Epoch returns the sum of the per-shard epochs — the scalar digest of
+// the vector (see Router.Epoch), sampled with the same concurrency as
+// EpochVector. Unobservable components contribute EpochUnknown to the
+// sum, which still changes the digest as failed samples' neighbors
+// advance.
+func (c *Cluster) Epoch() uint64 {
+	vec, _ := c.EpochVector(make([]uint64, 0, len(c.backends)))
+	var sum uint64
+	for _, e := range vec {
+		sum += e
+	}
+	return sum
+}
+
+// Quiesce synchronously drains every shard's eligible compactions. All
+// shards are attempted; the first error is returned.
+func (c *Cluster) Quiesce() error {
+	var firstErr error
+	for i, b := range c.backends {
+		if err := b.Quiesce(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// Close releases every backend (local compactors stop, remote clients
+// disconnect). All backends are attempted; the first error is returned.
+func (c *Cluster) Close() error {
+	var firstErr error
+	for i, b := range c.backends {
+		if err := b.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return firstErr
+}

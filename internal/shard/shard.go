@@ -63,6 +63,21 @@ func ShardOf(u world.UserID, n int) int {
 	return int(x % uint64(n))
 }
 
+// Partition returns the slice of base that shard i of n owns: exactly
+// the tweets whose author hashes to i. Router construction partitions
+// its base corpus with it, and cmd/shardd uses it directly so a shard
+// process rebuilt from the same deterministic pipeline starts from the
+// identical base slice the in-process router would give that shard.
+func Partition(base *microblog.Corpus, i, n int) *microblog.Corpus {
+	var part []microblog.Tweet
+	for _, tw := range base.Tweets() {
+		if ShardOf(tw.Author, n) == i {
+			part = append(part, tw)
+		}
+	}
+	return microblog.FromTweets(base.World(), part)
+}
+
 // Router hash-partitions a post stream by author across N independent
 // streaming indexes. Ingest routes writes (safe for concurrent use —
 // each shard serializes internally); the read side acquires one
@@ -70,8 +85,9 @@ func ShardOf(u world.UserID, n int) int {
 // them (see core.ShardedLiveDetector). Close stops every shard's
 // background compactor.
 type Router struct {
-	w      *world.World
-	shards []*ingest.Index
+	w       *world.World
+	shards  []*ingest.Index
+	cluster *Cluster
 }
 
 // New builds a router over a frozen base corpus, partitioning the base
@@ -92,11 +108,20 @@ func New(base *microblog.Corpus, cfg Config) *Router {
 		parts[si] = append(parts[si], tw)
 	}
 	r := &Router{w: w, shards: make([]*ingest.Index, n)}
+	backends := make([]Backend, n)
 	for i := range r.shards {
 		r.shards[i] = ingest.New(microblog.FromTweets(w, parts[i]), cfg.Ingest)
+		backends[i] = NewLocal(r.shards[i])
 	}
+	r.cluster = NewCluster(w, backends...)
 	return r
 }
+
+// Cluster returns the router's shards behind the Backend interface —
+// the all-local shard set core.ShardedLiveDetector scatter-gathers
+// over, interchangeable with (or mixable into) a set of
+// transport.RemoteShard clients.
+func (r *Router) Cluster() *Cluster { return r.cluster }
 
 // World returns the generating world shared by every shard.
 func (r *Router) World() *world.World { return r.w }

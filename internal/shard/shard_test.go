@@ -314,3 +314,228 @@ func TestConcurrentShardedIngestSearch(t *testing.T) {
 type errInvariant string
 
 func (e errInvariant) Error() string { return string(e) }
+
+// TestRouterCloseQuiesceLifecycle covers the shutdown paths: Close is
+// idempotent, the shards stay readable and writable afterwards (only
+// background compaction stops), and an explicit Quiesce after Close
+// still drains eligible merges synchronously.
+func TestRouterCloseQuiesceLifecycle(t *testing.T) {
+	p, _ := testPipeline(t)
+	r := shard.New(p.Corpus, shard.Config{Shards: 2, Ingest: ingest.Config{SealThreshold: 8, CompactFanIn: 2}})
+	posts := streamPosts(p, 97, 100)
+	r.IngestBatch(posts[:50])
+
+	r.Close()
+	r.Close() // double Close must be a no-op, not a panic or deadlock
+
+	// Writes after Close still land and publish fresh snapshots.
+	before := r.Stats()
+	r.IngestBatch(posts[50:])
+	after := r.Stats()
+	if after.Ingested != before.Ingested+50 {
+		t.Fatalf("ingested after Close: %d -> %d, want +50", before.Ingested, after.Ingested)
+	}
+	if after.NumTweets != p.Corpus.NumTweets()+len(posts) {
+		t.Fatalf("tweets after Close: %d, want %d", after.NumTweets, p.Corpus.NumTweets()+len(posts))
+	}
+
+	// With the compactor stopped, Quiesce is the only merge driver; it
+	// must leave no eligible run behind.
+	r.Quiesce()
+	st := r.Stats()
+	for i, ps := range st.PerShard {
+		if ps.Segments >= 2*2 { // a full fan-in run left unmerged
+			t.Fatalf("shard %d still has %d sealed segments after Quiesce", i, ps.Segments)
+		}
+	}
+
+	// And the quiesced post-Close router still ranks identically to a
+	// cold rebuild — Close must never cost correctness.
+	det := core.NewShardedLiveDetector(p.Collection, r, p.Cfg.Online)
+	cold := core.NewDetector(p.Collection, p.Corpus.ExtendedWith(posts), p.Cfg.Online)
+	for _, q := range []string{"49ers", "nfl", "coffee"} {
+		got, _ := det.Search(q)
+		want, _ := cold.Search(q)
+		expertsIdentical(t, "post-close", q, got, want)
+	}
+}
+
+// TestClusterLocalRouting covers the Cluster composition surface the
+// remote topology shares with the Router: ordered backends, write
+// routing by author hash, run-grouped batch ingest, and the epoch
+// vector/digest pair.
+func TestClusterLocalRouting(t *testing.T) {
+	p, _ := testPipeline(t)
+	const n = 4
+	backends := make([]shard.Backend, n)
+	locals := make([]*shard.Local, n)
+	for i := 0; i < n; i++ {
+		idx := ingest.New(shard.Partition(p.Corpus, i, n), ingest.DefaultConfig())
+		defer idx.Close()
+		locals[i] = shard.NewLocal(idx)
+		backends[i] = locals[i]
+	}
+	c := shard.NewCluster(p.World, backends...)
+	if c.NumShards() != n || c.World() != p.World {
+		t.Fatal("cluster surface broken")
+	}
+
+	posts := streamPosts(p, 101, 200)
+	if err := c.IngestBatch(posts); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		if c.Backend(i) != backends[i] {
+			t.Fatalf("backend %d identity changed", i)
+		}
+		idx := locals[i].Index()
+		snap := idx.Snapshot()
+		for gid := idx.Base().NumTweets(); gid < snap.NumTweets(); gid++ {
+			if got := c.ShardFor(snap.Tweet(microblog.TweetID(gid)).Author); got != i {
+				t.Fatalf("shard %d holds a post routed to %d", i, got)
+			}
+			total++
+		}
+	}
+	if total != len(posts) {
+		t.Fatalf("shards hold %d ingested posts, want %d", total, len(posts))
+	}
+
+	ev, err := c.EpochVector(nil)
+	if err != nil || len(ev) != n {
+		t.Fatalf("epoch vector %v err %v", ev, err)
+	}
+	var sum uint64
+	for _, e := range ev {
+		sum += e
+	}
+	if got := c.Epoch(); got != sum {
+		t.Fatalf("scalar digest %d does not sum the vector %v", got, ev)
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil { // idempotent through Local
+		t.Fatal(err)
+	}
+}
+
+// TestLocalViewPinsSnapshot pins the view contract the two-phase
+// gather relies on: a view's Stats answer from the state Search pinned,
+// not from writes that land afterwards.
+func TestLocalViewPinsSnapshot(t *testing.T) {
+	p, _ := testPipeline(t)
+	idx := ingest.New(p.Corpus, ingest.DefaultConfig())
+	defer idx.Close()
+	l := shard.NewLocal(idx)
+
+	rows, _, v, err := l.Search([]string{"49ers"}, false, nil)
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("search: %d rows, err %v", len(rows), err)
+	}
+	u := rows[0].User
+	before, err := v.Stats([]world.UserID{u}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A burst of new posts by that user lands after the pin.
+	for i := 0; i < 5; i++ {
+		idx.Ingest(microblog.Post{Author: u, Text: "vibes 49ers tonight", Topic: -1})
+	}
+	after, err := v.Stats([]world.UserID{u}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0] != before[0] {
+		t.Fatalf("pinned view drifted under ingest: %+v -> %+v", before[0], after[0])
+	}
+	v.Release()
+
+	// A fresh view observes the writes.
+	fresh := l.View()
+	defer fresh.Release()
+	now, err := fresh.Stats([]world.UserID{u}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now[0].Tweets != before[0].Tweets+5 {
+		t.Fatalf("fresh view misses writes: %+v vs %+v + 5", now[0], before[0])
+	}
+}
+
+// flakyEpochBackend is a minimal non-Local backend whose Epoch can be
+// made to fail — it stands in for a remote shard so the cluster's
+// concurrent epoch sampling (taken only when a member is not Local) and
+// its EpochUnknown degradation run under this package's own tests.
+type flakyEpochBackend struct {
+	inner *shard.Local
+	fail  bool
+}
+
+func (f *flakyEpochBackend) Search(terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, shard.View, error) {
+	return f.inner.Search(terms, extended, raw)
+}
+func (f *flakyEpochBackend) Ingest(p microblog.Post) (microblog.TweetID, error) {
+	return f.inner.Ingest(p)
+}
+func (f *flakyEpochBackend) IngestBatch(posts []microblog.Post) error {
+	return f.inner.IngestBatch(posts)
+}
+func (f *flakyEpochBackend) Epoch() (uint64, error) {
+	if f.fail {
+		return 0, errInvariant("epoch probe failed")
+	}
+	return f.inner.Epoch()
+}
+func (f *flakyEpochBackend) Quiesce() error { return f.inner.Quiesce() }
+func (f *flakyEpochBackend) Close() error   { return f.inner.Close() }
+
+// TestClusterEpochVectorWithRemoteMembers drives the concurrent
+// sampling path: a cluster with a non-Local member samples every
+// component, reports EpochUnknown (plus the error) for a member whose
+// probe fails, and recovers once the member heals.
+func TestClusterEpochVectorWithRemoteMembers(t *testing.T) {
+	p, _ := testPipeline(t)
+	mk := func(i, n int) *shard.Local {
+		idx := ingest.New(shard.Partition(p.Corpus, i, n), ingest.DefaultConfig())
+		t.Cleanup(idx.Close)
+		return shard.NewLocal(idx)
+	}
+	flaky := &flakyEpochBackend{inner: mk(1, 3)}
+	c := shard.NewCluster(p.World, mk(0, 3), flaky, mk(2, 3))
+
+	ev, err := c.EpochVector(nil)
+	if err != nil || len(ev) != 3 {
+		t.Fatalf("healthy sample: %v, err %v", ev, err)
+	}
+	for i, e := range ev {
+		if e == shard.EpochUnknown || e == 0 {
+			t.Fatalf("component %d implausible: %d", i, e)
+		}
+	}
+
+	flaky.fail = true
+	ev, err = c.EpochVector(ev)
+	if err == nil {
+		t.Fatal("failed probe reported no error")
+	}
+	if ev[1] != shard.EpochUnknown {
+		t.Fatalf("failed component is %d, want EpochUnknown", ev[1])
+	}
+	if ev[0] == shard.EpochUnknown || ev[2] == shard.EpochUnknown {
+		t.Fatalf("healthy components poisoned: %v", ev)
+	}
+	digest := c.Epoch() // includes the unknown component; must not panic
+	_ = digest
+
+	flaky.fail = false
+	ev, err = c.EpochVector(ev)
+	if err != nil || ev[1] == shard.EpochUnknown {
+		t.Fatalf("recovery sample: %v, err %v", ev, err)
+	}
+}

@@ -1,0 +1,120 @@
+// Benchmarks for the wire: scatter-gather query latency when every
+// shard sits behind a loopback TCP round trip
+// (BenchmarkRemoteSearchSharded*, compared against the in-process
+// BenchmarkLiveSearchSharded* numbers in internal/shard — the delta is
+// the price of the process boundary: two round trips per shard per
+// query, encode/decode, and kernel socket hops), plus the isolated
+// frame codec cost (BenchmarkWireSearchCodec). BENCHMARKS.md records
+// the per-PR numbers; on the 1-core CI container the per-shard round
+// trips serialize, so multi-shard remote latency there is an upper
+// bound, not the parallel-deployment number.
+package transport_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expertise"
+	"repro/internal/ingest"
+	"repro/internal/microblog"
+	"repro/internal/shard"
+	"repro/internal/transport"
+	"repro/internal/world"
+)
+
+// benchRemoteCluster boots n loopback shard servers holding the base
+// partition plus `posts` streamed posts, quiesced, and returns the
+// remote detector.
+func benchRemoteCluster(b *testing.B, n, posts int) *core.ShardedLiveDetector {
+	p, _ := testPipeline(b)
+	clients := startShardServers(b, p, n, ingest.DefaultConfig())
+	backends := make([]shard.Backend, n)
+	for i, c := range clients {
+		backends[i] = c
+	}
+	cluster := shard.NewCluster(p.World, backends...)
+	stream := microblog.NewPostStream(p.World, microblog.DefaultStreamConfig(19))
+	batch := make([]microblog.Post, posts)
+	for i := range batch {
+		batch[i] = stream.Next()
+	}
+	if err := cluster.IngestBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	if err := cluster.Quiesce(); err != nil {
+		b.Fatal(err)
+	}
+	online := p.Cfg.Online
+	online.MatchWorkers = 1
+	return core.NewShardedLiveDetectorOver(p.Collection, cluster, online)
+}
+
+// benchRemoteSearch measures steady-state scatter-gather latency with
+// every shard behind loopback TCP: per query, each shard costs one
+// OpSearch and (when candidates exist) one OpStats round trip on a
+// pooled connection.
+func benchRemoteSearch(b *testing.B, shards int) {
+	d := benchRemoteCluster(b, shards, 2048)
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, _ := d.Search("49ers")
+		n = len(results)
+	}
+	b.ReportMetric(float64(n), "experts")
+	b.ReportMetric(float64(shards), "shards")
+	if pq, _ := d.PartialStats(); pq != 0 {
+		b.Fatalf("%d partial queries during benchmark", pq)
+	}
+}
+
+func BenchmarkRemoteSearchSharded1(b *testing.B) { benchRemoteSearch(b, 1) }
+func BenchmarkRemoteSearchSharded4(b *testing.B) { benchRemoteSearch(b, 4) }
+
+// BenchmarkRemoteIngest measures routed write throughput over the
+// wire: one OpIngest frame per post on a pooled connection.
+func BenchmarkRemoteIngest(b *testing.B) {
+	p, _ := testPipeline(b)
+	clients := startShardServers(b, p, 2, ingest.DefaultConfig())
+	cluster := shard.NewCluster(p.World, clients[0], clients[1])
+	stream := microblog.NewPostStream(p.World, microblog.DefaultStreamConfig(23))
+	posts := make([]microblog.Post, 4096)
+	for i := range posts {
+		posts[i] = stream.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Ingest(posts[i%len(posts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireSearchCodec isolates the codec from the socket: encode
+// plus decode of a representative search response (32 candidate rows),
+// the marginal CPU the wire adds to the in-process gather path.
+func BenchmarkWireSearchCodec(b *testing.B) {
+	rows := make([]expertise.RawCandidate, 32)
+	for i := range rows {
+		rows[i] = expertise.RawCandidate{
+			User: world.UserID(7 * (1 + i)), Tweets: i % 5, Mentions: i % 3, Retweets: i % 11,
+		}
+	}
+	var frame, payloadBuf []byte
+	var scratch []expertise.RawCandidate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payloadBuf = transport.AppendSearchResp(payloadBuf[:0], transport.SearchResp{Matched: 64, Rows: rows})
+		frame = transport.AppendFrame(frame[:0], transport.OpSearch, payloadBuf)
+		_, payload, _, err := transport.DecodeFrame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, _, err := transport.ConsumeSearchResp(scratch, payload)
+		if err != nil || len(resp.Rows) != len(rows) {
+			b.Fatal(err)
+		}
+		scratch = resp.Rows
+	}
+	b.ReportMetric(float64(len(frame)), "frame-bytes")
+}

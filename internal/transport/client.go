@@ -1,0 +1,506 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/expertise"
+	"repro/internal/microblog"
+	"repro/internal/shard"
+	"repro/internal/world"
+)
+
+// ClientConfig tunes a RemoteShard.
+type ClientConfig struct {
+	// Timeout bounds one request round trip — dial, write, read. Zero
+	// means 2s. Quiesce, which drains compactions server-side, gets
+	// QuiesceTimeout instead.
+	Timeout time.Duration
+	// QuiesceTimeout bounds an OpQuiesce round trip. Zero means 10×
+	// Timeout.
+	QuiesceTimeout time.Duration
+	// MaxIdleConns caps the pooled idle connections. Zero means 4.
+	MaxIdleConns int
+	// IngestChunk caps how many posts one OpIngest frame carries; a
+	// larger batch is split into sequential frames. Zero means 512.
+	IngestChunk int
+	// Dial overrides the dialer — the fault-injection tests wrap
+	// connections here. Nil means net.DialTimeout("tcp", addr, timeout).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// DefaultClientConfig returns the client defaults.
+func DefaultClientConfig() ClientConfig { return ClientConfig{} }
+
+// ErrClientClosed reports a request on a closed RemoteShard.
+var ErrClientClosed = errors.New("transport: client closed")
+
+// RemoteShard speaks the wire protocol to one ShardServer and satisfies
+// shard.Backend, so a shard.Cluster (and through it
+// core.ShardedLiveDetector) addresses a networked shard exactly as it
+// addresses an in-process one. Connections are pooled and reused; a
+// request that fails on a pooled — possibly stale — connection before
+// ever being answered is retried once on a fresh dial (the reconnect
+// path), and every other failure surfaces immediately: fail fast,
+// degrade to partial results, let the coordinator count it. Safe for
+// concurrent use; concurrent requests use distinct connections.
+type RemoteShard struct {
+	addr string
+	cfg  ClientConfig
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+	// expect, once Handshake succeeds, pins the deployment identity —
+	// including the server incarnation — that every freshly dialed
+	// connection is re-verified against (see verifyConn).
+	expect *InfoResp
+
+	dials atomic.Int64
+}
+
+// clientConn is one pooled connection plus its reusable buffers.
+type clientConn struct {
+	c      net.Conn
+	br     *bufio.Reader
+	in     []byte // frame read buffer
+	out    []byte // frame build buffer
+	pooled bool   // checked out of the idle pool (retry-once eligible)
+}
+
+// RemoteShard must keep satisfying the interface the in-process shards
+// speak — that is the whole point of the transport.
+var _ shard.Backend = (*RemoteShard)(nil)
+
+// NewRemoteShard builds a client for one shard server. No connection is
+// made until the first request (or Handshake).
+func NewRemoteShard(addr string, cfg ClientConfig) *RemoteShard {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.QuiesceTimeout <= 0 {
+		cfg.QuiesceTimeout = 10 * cfg.Timeout
+	}
+	if cfg.MaxIdleConns <= 0 {
+		cfg.MaxIdleConns = 4
+	}
+	if cfg.IngestChunk <= 0 {
+		cfg.IngestChunk = 512
+	}
+	return &RemoteShard{addr: addr, cfg: cfg}
+}
+
+// Addr returns the server address this client dials.
+func (r *RemoteShard) Addr() string { return r.addr }
+
+// Dials returns how many connections this client has opened — the
+// fault-injection tests assert reconnects with it.
+func (r *RemoteShard) Dials() int64 { return r.dials.Load() }
+
+// checkout pops an idle connection or dials a fresh one.
+func (r *RemoteShard) checkout() (*clientConn, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if n := len(r.idle); n > 0 {
+		cc := r.idle[n-1]
+		r.idle = r.idle[:n-1]
+		r.mu.Unlock()
+		cc.pooled = true
+		return cc, nil
+	}
+	r.mu.Unlock()
+	return r.dialConn()
+}
+
+// dialConn opens a fresh connection.
+func (r *RemoteShard) dialConn() (*clientConn, error) {
+	dial := r.cfg.Dial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	c, err := dial(r.addr, r.cfg.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", r.addr, err)
+	}
+	r.dials.Add(1)
+	cc := &clientConn{c: c, br: bufio.NewReader(c)}
+	if err := r.verifyConn(cc); err != nil {
+		cc.c.Close()
+		return nil, err
+	}
+	return cc, nil
+}
+
+// release returns a healthy connection to the pool (or closes it when
+// the pool is full or the client closed).
+func (r *RemoteShard) release(cc *clientConn) {
+	cc.pooled = false
+	r.mu.Lock()
+	if !r.closed && len(r.idle) < r.cfg.MaxIdleConns {
+		r.idle = append(r.idle, cc)
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	cc.c.Close()
+}
+
+// verifyConn re-runs the deployment handshake on a freshly dialed
+// connection once expectations are pinned (Handshake succeeded): the
+// server must still be the same shard, partition, world — and the same
+// *incarnation*. A restarted shardd starts a fresh index whose epoch
+// regresses to zero; silently reconnecting to it would let the serving
+// cache treat pre-restart entries as fresh forever. The incarnation
+// check turns that into a hard backend failure, which the coordinator
+// degrades on (partial results, EpochUnknown, cache bypass) until the
+// operator re-wires.
+func (r *RemoteShard) verifyConn(cc *clientConn) error {
+	r.mu.Lock()
+	expect := r.expect
+	r.mu.Unlock()
+	if expect == nil {
+		return nil
+	}
+	resp, _, err := r.roundTrip(cc, OpInfo, nil, r.cfg.Timeout)
+	if err != nil {
+		return err
+	}
+	info, _, err := ConsumeInfoResp(resp)
+	if err != nil {
+		return err
+	}
+	if info.Shard != expect.Shard || info.NumShards != expect.NumShards ||
+		info.Users != expect.Users || info.BaseTweets != expect.BaseTweets {
+		return fmt.Errorf("transport: %s now serves shard %d/%d (%d users, %d base tweets), handshake pinned %d/%d (%d, %d)",
+			r.addr, info.Shard, info.NumShards, info.Users, info.BaseTweets,
+			expect.Shard, expect.NumShards, expect.Users, expect.BaseTweets)
+	}
+	if info.Incarnation != expect.Incarnation {
+		return fmt.Errorf("transport: %s restarted (incarnation %x, handshake pinned %x) — its live content is gone, re-wire before trusting it",
+			r.addr, info.Incarnation, expect.Incarnation)
+	}
+	return nil
+}
+
+// roundTrip sends one framed request on cc and reads one response
+// frame, under one deadline. The returned payload aliases cc.in and is
+// valid until the next roundTrip on cc. An OpError response is decoded
+// into an error with okConn=true (the stream is still synchronized); an
+// unexpected op poisons the connection.
+func (r *RemoteShard) roundTrip(cc *clientConn, op Op, payload []byte, timeout time.Duration) (respPayload []byte, okConn bool, err error) {
+	if err := cc.c.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, false, fmt.Errorf("transport: set deadline: %w", err)
+	}
+	cc.out = cc.out[:0]
+	cc.out = binary.BigEndian.AppendUint32(cc.out, uint32(1+len(payload)))
+	cc.out = append(cc.out, byte(op))
+	cc.out = append(cc.out, payload...)
+	if _, err := cc.c.Write(cc.out); err != nil {
+		return nil, false, fmt.Errorf("transport: write %s: %w", r.addr, err)
+	}
+	respOp, resp, buf, err := ReadFrame(cc.br, cc.in)
+	cc.in = buf
+	if err != nil {
+		return nil, false, fmt.Errorf("transport: read %s: %w", r.addr, err)
+	}
+	switch respOp {
+	case op:
+		return resp, true, nil
+	case OpError:
+		return nil, true, fmt.Errorf("transport: %s: server error: %s", r.addr, resp)
+	default:
+		return nil, false, fmt.Errorf("transport: %s: op 0x%02x in response to 0x%02x", r.addr, byte(respOp), byte(op))
+	}
+}
+
+// do runs one single-frame exchange with checkout, the stale-connection
+// retry (idempotent requests only — a write whose connection dies after
+// the server processed it but before the response arrived must NOT be
+// re-sent, or the shard would hold the post twice and break the
+// bit-identical bar), and release. decode consumes the response payload
+// before the connection goes back to the pool.
+func (r *RemoteShard) do(op Op, payload []byte, timeout time.Duration, idempotent bool, decode func(resp []byte) error) error {
+	cc, err := r.checkout()
+	if err != nil {
+		return err
+	}
+	resp, okConn, err := r.roundTrip(cc, op, payload, timeout)
+	if err != nil && !okConn && cc.pooled && idempotent {
+		// The pooled connection died before answering — the classic
+		// stale-keepalive shape (server restarted, idle timeout). One
+		// fresh dial, one more try, then fail fast.
+		cc.c.Close()
+		if cc, err = r.dialConn(); err != nil {
+			return err
+		}
+		resp, okConn, err = r.roundTrip(cc, op, payload, timeout)
+	}
+	if err != nil {
+		if okConn {
+			r.release(cc)
+		} else {
+			cc.c.Close()
+		}
+		return err
+	}
+	if err := decode(resp); err != nil {
+		// A response that fails to decode means the stream can no
+		// longer be trusted.
+		cc.c.Close()
+		return err
+	}
+	r.release(cc)
+	return nil
+}
+
+// Handshake fetches the server's partition info and verifies it against
+// the coordinates the caller is about to wire it into: shard index,
+// partition count, world size, and the base-corpus slice (a server
+// built from a different pipeline configuration would silently break
+// the equivalence bar — this catches it at wiring time).
+func (r *RemoteShard) Handshake(shardIdx, numShards, users, baseTweets int) error {
+	info, err := r.Info()
+	if err != nil {
+		return err
+	}
+	if info.Shard != shardIdx || info.NumShards != numShards {
+		return fmt.Errorf("transport: %s serves shard %d/%d, want %d/%d",
+			r.addr, info.Shard, info.NumShards, shardIdx, numShards)
+	}
+	if info.Users != users {
+		return fmt.Errorf("transport: %s world has %d users, coordinator has %d",
+			r.addr, info.Users, users)
+	}
+	if info.BaseTweets != baseTweets {
+		return fmt.Errorf("transport: %s base holds %d tweets, coordinator's partition has %d",
+			r.addr, info.BaseTweets, baseTweets)
+	}
+	// Pin the verified identity — incarnation included — so every
+	// future fresh dial re-verifies against it (verifyConn).
+	r.mu.Lock()
+	r.expect = &info
+	r.mu.Unlock()
+	return nil
+}
+
+// Info fetches the server's partition description.
+func (r *RemoteShard) Info() (InfoResp, error) {
+	var info InfoResp
+	err := r.do(OpInfo, nil, r.cfg.Timeout, true, func(resp []byte) error {
+		var err error
+		info, _, err = ConsumeInfoResp(resp)
+		return err
+	})
+	return info, err
+}
+
+// Search implements shard.Backend: one OpSearch round trip whose
+// response carries the shard's raw candidate rows and matched-union
+// size, and whose connection — with the snapshot the server pinned to
+// it — becomes the returned View, so the follow-up denominator fetch
+// reads the exact state the rows were extracted from.
+func (r *RemoteShard) Search(terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, shard.View, error) {
+	cc, err := r.checkout()
+	if err != nil {
+		return raw[:0], 0, nil, err
+	}
+	payload := AppendSearchReq(nil, SearchReq{Extended: extended, Terms: terms})
+	resp, okConn, err := r.roundTrip(cc, OpSearch, payload, r.cfg.Timeout)
+	if err != nil && !okConn && cc.pooled {
+		cc.c.Close()
+		if cc, err = r.dialConn(); err != nil {
+			return raw[:0], 0, nil, err
+		}
+		resp, okConn, err = r.roundTrip(cc, OpSearch, payload, r.cfg.Timeout)
+	}
+	if err != nil {
+		if okConn {
+			r.release(cc)
+		} else {
+			cc.c.Close()
+		}
+		return raw[:0], 0, nil, err
+	}
+	sr, _, err := ConsumeSearchResp(raw, resp)
+	if err != nil {
+		cc.c.Close()
+		return raw[:0], 0, nil, err
+	}
+	return sr.Rows, sr.Matched, &remoteView{r: r, cc: cc}, nil
+}
+
+// remoteView is the client end of a pinned search→stats conversation:
+// it owns one checked-out connection whose server side holds the
+// snapshot the search ran against.
+type remoteView struct {
+	r      *RemoteShard
+	cc     *clientConn
+	broken bool
+	// pinCleared is set once any op after the search has reached the
+	// server (the server drops its snapshot pin on every op that is not
+	// the one paired OpStats conversation-opener).
+	pinCleared bool
+}
+
+// Stats implements shard.View with one OpStats round trip on the
+// pinned connection. No retry: a fresh connection would see a fresh
+// snapshot, not the one the candidates came from — fail fast instead.
+func (v *remoteView) Stats(users []world.UserID, dst []expertise.UserStats) ([]expertise.UserStats, error) {
+	if v.broken {
+		return dst[:0], fmt.Errorf("transport: %s: view connection already failed", v.r.addr)
+	}
+	payload := expertise.AppendUserIDs(nil, users)
+	resp, okConn, err := v.r.roundTrip(v.cc, OpStats, payload, v.r.cfg.Timeout)
+	if okConn {
+		// The request reached the server, which releases its snapshot
+		// pin after answering the stats of a search→stats conversation.
+		v.pinCleared = true
+	}
+	if err != nil {
+		if !okConn {
+			v.broken = true
+		}
+		return dst[:0], err
+	}
+	dst, _, err = expertise.ConsumeUserStats(dst, resp)
+	if err != nil {
+		v.broken = true
+		return dst[:0], err
+	}
+	return dst, nil
+}
+
+// Release implements shard.View: a healthy connection returns to the
+// pool, a broken one closes. A view released without a stats fetch (the
+// query produced no candidates anywhere) first clears the server-side
+// snapshot pin with one cheap probe — otherwise an idle pooled
+// connection would retain a retired snapshot server-side indefinitely.
+func (v *remoteView) Release() {
+	if v.broken {
+		v.cc.c.Close()
+		return
+	}
+	if !v.pinCleared {
+		if _, _, err := v.r.roundTrip(v.cc, OpEpoch, nil, v.r.cfg.Timeout); err != nil {
+			v.cc.c.Close()
+			return
+		}
+	}
+	v.r.release(v.cc)
+}
+
+// Ingest implements shard.Backend with a one-post OpIngest frame.
+func (r *RemoteShard) Ingest(p microblog.Post) (microblog.TweetID, error) {
+	var id microblog.TweetID
+	payload := AppendIngestReq(nil, IngestReq{Posts: []microblog.Post{p}})
+	err := r.do(OpIngest, payload, r.cfg.Timeout, false, func(resp []byte) error {
+		ir, _, err := ConsumeIngestResp(resp)
+		id = ir.First
+		return err
+	})
+	return id, err
+}
+
+// IngestBatch implements shard.Backend, shipping the batch as
+// IngestChunk-post frames so one call never exceeds MaxFrame.
+func (r *RemoteShard) IngestBatch(posts []microblog.Post) error {
+	for start := 0; start < len(posts); start += r.cfg.IngestChunk {
+		end := min(start+r.cfg.IngestChunk, len(posts))
+		payload := AppendIngestReq(nil, IngestReq{Posts: posts[start:end]})
+		err := r.do(OpIngest, payload, r.cfg.Timeout, false, func(resp []byte) error {
+			_, _, err := ConsumeIngestResp(resp)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Epoch implements shard.Backend with one OpEpoch probe.
+func (r *RemoteShard) Epoch() (uint64, error) {
+	var epoch uint64
+	err := r.do(OpEpoch, nil, r.cfg.Timeout, true, func(resp []byte) error {
+		er, _, err := ConsumeEpochResp(resp)
+		epoch = er.Epoch
+		return err
+	})
+	return epoch, err
+}
+
+// Quiesce implements shard.Backend: the server drains its eligible
+// compactions before answering, so this round trip gets the longer
+// QuiesceTimeout.
+func (r *RemoteShard) Quiesce() error {
+	return r.do(OpQuiesce, nil, r.cfg.QuiesceTimeout, true, func(resp []byte) error {
+		_, _, err := ConsumeEpochResp(resp)
+		return err
+	})
+}
+
+// Tweets fetches one page of the shard's post log starting at global id
+// from (at most max posts; the server applies its own page cap too).
+func (r *RemoteShard) Tweets(from, max int) (TweetsResp, error) {
+	var page TweetsResp
+	payload := AppendTweetsReq(nil, TweetsReq{From: from, Max: max})
+	err := r.do(OpTweets, payload, r.cfg.Timeout, true, func(resp []byte) error {
+		var err error
+		page, _, err = ConsumeTweetsResp(resp)
+		return err
+	})
+	return page, err
+}
+
+// DumpIngested pages every post the shard holds beyond its frozen base
+// — the remote form of walking a snapshot's ingested suffix, which the
+// cold-rebuild equivalence checks feed through microblog.MakeTweet.
+func (r *RemoteShard) DumpIngested() ([]microblog.Post, error) {
+	info, err := r.Info()
+	if err != nil {
+		return nil, err
+	}
+	var posts []microblog.Post
+	from := info.BaseTweets
+	for {
+		page, err := r.Tweets(from, 2048)
+		if err != nil {
+			return nil, err
+		}
+		posts = append(posts, page.Posts...)
+		from += len(page.Posts)
+		if from >= page.Total || len(page.Posts) == 0 {
+			return posts, nil
+		}
+	}
+}
+
+// Close implements shard.Backend: it closes the pooled connections and
+// rejects further requests. The remote server keeps running — closing
+// a client is a coordinator-side action.
+func (r *RemoteShard) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	idle := r.idle
+	r.idle = nil
+	r.mu.Unlock()
+	for _, cc := range idle {
+		cc.c.Close()
+	}
+	return nil
+}

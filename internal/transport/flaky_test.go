@@ -1,0 +1,403 @@
+// Fault-injection tests: the transport's failure contract under
+// dropped, truncated, delayed and fragmented connections. The wire
+// makes three promises — reconnects happen (once, for stale pooled
+// connections), deadlines fire (no request outlives its timeout), and
+// a short read or write never corrupts a frame (a request either gets
+// the complete response or a clean error, never a garbled one) — and
+// the fail-fast partial-result counts land in serve.Stats.
+package transport_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/transport"
+)
+
+// startOneServer boots a single-shard loopback server over the full
+// base corpus and returns its address.
+func startOneServer(t testing.TB, p *core.Pipeline, icfg ingest.Config) string {
+	t.Helper()
+	idx := ingest.New(shard.Partition(p.Corpus, 0, 1), icfg)
+	srv, err := transport.Listen("127.0.0.1:0", idx, transport.DefaultServerConfig(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		idx.Close()
+	})
+	return srv.Addr().String()
+}
+
+// trackingDialer dials real connections and remembers them so a test
+// can kill the live one out from under the pool.
+type trackingDialer struct {
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (d *trackingDialer) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.conns = append(d.conns, c)
+	d.mu.Unlock()
+	return c, nil
+}
+
+func (d *trackingDialer) killAll() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.conns {
+		c.Close()
+	}
+}
+
+// TestReconnectAfterStaleConn pins the reconnect path: a pooled
+// connection dies between requests (server restart, idle reaping —
+// here an injected close), the next request fails its first round trip,
+// and the client transparently redials exactly once and succeeds.
+func TestReconnectAfterStaleConn(t *testing.T) {
+	p, _ := testPipeline(t)
+	addr := startOneServer(t, p, ingest.DefaultConfig())
+
+	d := &trackingDialer{}
+	cfg := testClientConfig()
+	cfg.Dial = d.dial
+	c := transport.NewRemoteShard(addr, cfg)
+	defer c.Close()
+
+	if _, err := c.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Dials(); got != 1 {
+		t.Fatalf("first request dialed %d times", got)
+	}
+	// Kill the pooled connection under the client.
+	d.killAll()
+	epoch, err := c.Epoch()
+	if err != nil {
+		t.Fatalf("request after dropped conn failed instead of reconnecting: %v", err)
+	}
+	if epoch == 0 {
+		t.Fatal("reconnected request returned zero epoch")
+	}
+	if got := c.Dials(); got != 2 {
+		t.Fatalf("reconnect dialed %d total conns, want 2", got)
+	}
+}
+
+// TestDeadlineFires pins the timeout contract: a server that accepts
+// and then stalls forever must not hold a request past its deadline.
+func TestDeadlineFires(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Swallow the request, never answer.
+			go func() { io.Copy(io.Discard, conn) }()
+		}
+	}()
+
+	cfg := transport.ClientConfig{Timeout: 100 * time.Millisecond}
+	c := transport.NewRemoteShard(ln.Addr().String(), cfg)
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Epoch()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("stalled server answered?")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire with a 100ms timeout", elapsed)
+	}
+}
+
+// fragmentConn delivers every byte, one at a time, on both directions'
+// syscall boundaries — the adversarial TCP segmentation a correct
+// framing layer must not notice.
+type fragmentConn struct {
+	net.Conn
+}
+
+func (c fragmentConn) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return c.Conn.Read(p)
+}
+
+func (c fragmentConn) Write(p []byte) (int, error) {
+	for i := range p {
+		if _, err := c.Conn.Write(p[i : i+1]); err != nil {
+			return i, err
+		}
+	}
+	return len(p), nil
+}
+
+// TestShortReadsWritesPreserveFrames runs a full search→stats→ingest
+// conversation over a connection fragmented to one byte per
+// read/write and requires byte-identical behaviour to a clean
+// connection: short IO must never corrupt or split a frame.
+func TestShortReadsWritesPreserveFrames(t *testing.T) {
+	p, _ := testPipeline(t)
+	addr := startOneServer(t, p, ingest.DefaultConfig())
+
+	clean := transport.NewRemoteShard(addr, testClientConfig())
+	defer clean.Close()
+	fragCfg := testClientConfig()
+	fragCfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return fragmentConn{c}, nil
+	}
+	frag := transport.NewRemoteShard(addr, fragCfg)
+	defer frag.Close()
+
+	terms := []string{"49ers", "nfl"}
+	wantRows, wantMatched, wantView, err := clean.Search(terms, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wantView.Release()
+	gotRows, gotMatched, gotView, err := frag.Search(terms, false, nil)
+	if err != nil {
+		t.Fatalf("fragmented search failed: %v", err)
+	}
+	defer gotView.Release()
+	if gotMatched != wantMatched || len(gotRows) != len(wantRows) {
+		t.Fatalf("fragmented search: matched %d rows %d, clean %d/%d",
+			gotMatched, len(gotRows), wantMatched, len(wantRows))
+	}
+	for i := range wantRows {
+		if gotRows[i] != wantRows[i] {
+			t.Fatalf("row %d differs over fragmented conn: %+v vs %+v", i, gotRows[i], wantRows[i])
+		}
+	}
+}
+
+// truncateConn cuts the response stream after limit bytes, simulating a
+// server dying mid-frame.
+type truncateConn struct {
+	net.Conn
+	mu    sync.Mutex
+	limit int
+}
+
+func (c *truncateConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	limit := c.limit
+	c.mu.Unlock()
+	if limit <= 0 {
+		return 0, io.EOF
+	}
+	if len(p) > limit {
+		p = p[:limit]
+	}
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.limit -= n
+	c.mu.Unlock()
+	return n, err
+}
+
+// TestTruncatedResponseFailsCleanly pins the short-read contract: a
+// response cut mid-frame yields ErrFrameTruncated-shaped failure (or a
+// clean EOF), never a partial decode, and the connection is not reused.
+func TestTruncatedResponseFailsCleanly(t *testing.T) {
+	p, _ := testPipeline(t)
+	addr := startOneServer(t, p, ingest.DefaultConfig())
+
+	for _, limit := range []int{0, 1, 3, 4, 5} {
+		cfg := testClientConfig()
+		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			c, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				return nil, err
+			}
+			return &truncateConn{Conn: c, limit: limit}, nil
+		}
+		c := transport.NewRemoteShard(addr, cfg)
+		if _, err := c.Epoch(); err == nil {
+			t.Fatalf("limit %d: truncated response decoded successfully", limit)
+		}
+		c.Close()
+	}
+}
+
+// TestPartialResultsLandInStats wires a 2-shard cluster whose second
+// shard points at a dead address and requires (a) queries still answer
+// from the healthy shard, fail-fast, and (b) the degradation is counted
+// on the detector and surfaced through serve.Stats.
+func TestPartialResultsLandInStats(t *testing.T) {
+	p, _ := testPipeline(t)
+	icfg := ingest.DefaultConfig()
+
+	// Healthy shard 0 in-process; shard 1 behind a transport to nowhere:
+	// reserve a port and close it so dials fail fast.
+	idx0 := ingest.New(shard.Partition(p.Corpus, 0, 2), icfg)
+	defer idx0.Close()
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := deadLn.Addr().String()
+	deadLn.Close()
+
+	dead := transport.NewRemoteShard(deadAddr, transport.ClientConfig{Timeout: 200 * time.Millisecond})
+	defer dead.Close()
+	cluster := shard.NewCluster(p.World, shard.NewLocal(idx0), dead)
+	det := core.NewShardedLiveDetectorOver(p.Collection, cluster, p.Cfg.Online)
+
+	results, _ := det.Search("49ers")
+	if pq, se := det.PartialStats(); pq != 1 || se != 1 {
+		t.Fatalf("partial queries %d, shard errors %d after one degraded search, want 1, 1", pq, se)
+	}
+	// The healthy shard alone can still produce experts for a query its
+	// partition answers; whether this particular one does depends on the
+	// hash split, so only the counters are load-bearing above. Run a few
+	// more to see the counts accumulate.
+	for i := 0; i < 4; i++ {
+		det.SearchBaseline("nfl")
+	}
+	if pq, se := det.PartialStats(); pq != 5 || se != 5 {
+		t.Fatalf("partial queries %d, shard errors %d after five degraded requests", pq, se)
+	}
+	_ = results
+
+	// Behind a serving front-end the same degradation must surface in
+	// Stats — and because the epoch-vector sample contains an unknown
+	// component while a shard is down, those requests bypass the cache
+	// entirely instead of caching (or serving) unverifiable results.
+	srv := serve.New(det, serve.DefaultConfig())
+	for i := 0; i < 3; i++ {
+		srv.Search("49ers")
+	}
+	st := srv.Stats()
+	if st.PartialResults == 0 || st.ShardErrors == 0 {
+		t.Fatalf("serve stats hide the degradation: %+v", st)
+	}
+	if st.Uncacheable != 3 {
+		t.Fatalf("want 3 uncacheable requests while a shard is down, got %d", st.Uncacheable)
+	}
+	if st.CacheEntries != 0 {
+		t.Fatalf("degraded requests were cached: %d entries", st.CacheEntries)
+	}
+	if len(st.EpochVector) != 2 || st.EpochVector[1] != core.EpochUnknown {
+		t.Fatalf("epoch vector does not flag the dead shard: %v", st.EpochVector)
+	}
+}
+
+// TestWritesAreNeverRetried pins the idempotency rule: a write that
+// fails on a stale pooled connection surfaces the error instead of
+// being re-sent — the server may already have applied it, and a
+// duplicate post would skew every counter the bit-identical bar is
+// stated over. Reads reconnect; writes fail fast.
+func TestWritesAreNeverRetried(t *testing.T) {
+	p, _ := testPipeline(t)
+	addr := startOneServer(t, p, ingest.DefaultConfig())
+
+	d := &trackingDialer{}
+	cfg := testClientConfig()
+	cfg.Dial = d.dial
+	c := transport.NewRemoteShard(addr, cfg)
+	defer c.Close()
+
+	if _, err := c.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+	d.killAll()
+	post := streamPosts(p, 103, 1)[0]
+	if _, err := c.Ingest(post); err == nil {
+		t.Fatal("write on a dropped connection succeeded — it must have been silently retried")
+	}
+	if got := c.Dials(); got != 1 {
+		t.Fatalf("failed write dialed a new connection (%d dials) — the retry path ran for a write", got)
+	}
+	// The read path on the now-empty pool reconnects and recovers.
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("recovery read failed: %v", err)
+	}
+	if got := c.Dials(); got != 2 {
+		t.Fatalf("recovery read dialed %d total conns, want 2", got)
+	}
+}
+
+// TestRestartedServerIsRejected pins the incarnation check: when the
+// shardd behind an address dies and a fresh one (same partition, fresh
+// index, epoch back to zero) takes its place, the client must refuse to
+// silently reconnect — pre-restart cache entries would otherwise look
+// "fresh" forever against the regressed epoch vector. The failure
+// surfaces as a backend error, which the coordinator degrades on.
+func TestRestartedServerIsRejected(t *testing.T) {
+	p, _ := testPipeline(t)
+	idx1 := ingest.New(shard.Partition(p.Corpus, 0, 1), ingest.DefaultConfig())
+	defer idx1.Close()
+	srv1, err := transport.Listen("127.0.0.1:0", idx1, transport.DefaultServerConfig(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv1.Addr().String()
+
+	c := transport.NewRemoteShard(addr, testClientConfig())
+	defer c.Close()
+	if err := c.Handshake(0, 1, len(p.World.Users), idx1.Base().NumTweets()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The process dies; a fresh one takes over the same address with the
+	// same partition coordinates but a new incarnation (and none of the
+	// ingested content).
+	srv1.Close()
+	idx2 := ingest.New(shard.Partition(p.Corpus, 0, 1), ingest.DefaultConfig())
+	defer idx2.Close()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	srv2 := transport.Serve(ln2, idx2, transport.DefaultServerConfig(0, 1))
+	defer srv2.Close()
+
+	// The pooled connection is dead; the retry path dials the impostor
+	// and the per-dial handshake must reject it.
+	_, err = c.Epoch()
+	if err == nil {
+		t.Fatal("client silently reconnected to a restarted server")
+	}
+	if !strings.Contains(err.Error(), "restarted") {
+		t.Fatalf("want an incarnation/restart error, got: %v", err)
+	}
+	// And it keeps failing (no lucky pooled state) until re-wired.
+	if _, err := c.Epoch(); err == nil {
+		t.Fatal("second request after restart succeeded")
+	}
+}

@@ -1,0 +1,158 @@
+// Package transport puts a wire behind the shard.Backend interface: a
+// length-prefixed binary protocol over TCP carrying the scatter-gather
+// exchange — term-set searches answered with raw integer candidate
+// rows, batched denominator fetches, routed ingest batches, and
+// epoch/quiesce probes — between a RemoteShard client and a
+// ShardServer wrapping one ingest.Index.
+//
+// The protocol exists because the sharded read path was
+// transport-shaped before any transport existed: everything that
+// crosses a shard boundary is an additive integer counter
+// (expertise.RawCandidate, expertise.UserStats), every float division
+// happens exactly once at the coordinator, and the per-shard unit of
+// work runs against one pinned snapshot. Moving those integers through
+// a socket therefore cannot change a single bit of the ranking — the
+// bar TestRemoteQuiescedEquivalence holds the wire to.
+//
+// Framing. Every message is one frame: a 4-byte big-endian length (of
+// everything after itself: one op byte plus the payload), the op byte,
+// and an op-specific varint payload (wire.go). Frames longer than
+// MaxFrame are rejected before any allocation, and every count field
+// inside a payload is validated against the bytes actually present, so
+// a hostile peer can neither panic a decoder nor make it over-allocate
+// (FuzzDecodeFrame enforces this).
+//
+// Conversation state. A connection is a sequential request/response
+// stream with exactly one piece of server-side state: the snapshot the
+// last OpSearch pinned. A following OpStats on the same connection is
+// answered from that pinned snapshot, which is what keeps one query's
+// numerators and denominators reading the same immutable view across
+// two round trips — the same per-query consistency the in-process path
+// gets from holding a snapshot pointer. RemoteShard checks a
+// connection out of its pool for the whole search→stats conversation,
+// so concurrent queries never interleave on one connection.
+//
+// Failure policy is fail-fast: the client applies one deadline per
+// round trip, retries once only when a pooled (possibly stale)
+// connection dies before ever answering, and otherwise surfaces the
+// error to the scatter-gather coordinator, which degrades to partial
+// results and counts the event (core.ShardedLiveDetector.PartialStats,
+// surfaced through serve.Stats).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds one frame's length field: op byte plus payload. 8 MiB
+// comfortably holds the largest legitimate message (a few thousand
+// candidate rows or a paged ingest batch) while capping what a hostile
+// length prefix can make a reader allocate.
+const MaxFrame = 8 << 20
+
+// Op identifies a frame's message type. Requests and their responses
+// share the op; a server that cannot answer replies OpError instead.
+type Op byte
+
+// The protocol ops. The zero value is deliberately invalid.
+const (
+	// OpSearch carries a term-set search (SearchReq → SearchResp) and
+	// pins the answering snapshot to the connection.
+	OpSearch Op = 0x01
+	// OpStats fetches denominator triples for an ascending user list
+	// (StatsReq → StatsResp) from the pinned snapshot (or the current
+	// one if the connection has not searched).
+	OpStats Op = 0x02
+	// OpIngest appends a routed post batch (IngestReq → IngestResp).
+	OpIngest Op = 0x03
+	// OpEpoch probes the shard's current snapshot epoch (empty request
+	// → EpochResp).
+	OpEpoch Op = 0x04
+	// OpQuiesce synchronously drains eligible compactions (empty
+	// request → EpochResp with the post-quiesce epoch).
+	OpQuiesce Op = 0x05
+	// OpInfo describes the served partition (empty request → InfoResp);
+	// clients use it as a deployment-sanity handshake.
+	OpInfo Op = 0x06
+	// OpTweets pages the shard's post log (TweetsReq → TweetsResp); the
+	// cold-rebuild equivalence checks fetch ingested content with it.
+	OpTweets Op = 0x07
+	// OpError is a response-only op whose payload is an error string.
+	OpError Op = 0x7f
+)
+
+// ErrFrameTooLarge reports a length prefix exceeding MaxFrame.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrame")
+
+// ErrFrameTruncated reports a frame that ends before its declared
+// length.
+var ErrFrameTruncated = errors.New("transport: truncated frame")
+
+// headerLen is the fixed frame prefix: the 4-byte length field.
+const headerLen = 4
+
+// AppendFrame appends one framed message to buf: header, op, payload.
+func AppendFrame(buf []byte, op Op, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(1+len(payload)))
+	buf = append(buf, byte(op))
+	return append(buf, payload...)
+}
+
+// DecodeFrame splits one frame off the front of data, returning its op,
+// its payload (aliasing data) and the bytes that follow it. It is the
+// pure-slice form of ReadFrame and the fuzzing entry point: no input
+// can make it panic, and it allocates nothing.
+func DecodeFrame(data []byte) (op Op, payload, rest []byte, err error) {
+	if len(data) < headerLen {
+		return 0, nil, data, ErrFrameTruncated
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n == 0 {
+		return 0, nil, data, fmt.Errorf("transport: empty frame body")
+	}
+	if n > MaxFrame {
+		return 0, nil, data, ErrFrameTooLarge
+	}
+	if uint32(len(data)-headerLen) < n {
+		return 0, nil, data, ErrFrameTruncated
+	}
+	body := data[headerLen : headerLen+int(n)]
+	return Op(body[0]), body[1:], data[headerLen+int(n):], nil
+}
+
+// ReadFrame reads exactly one frame from r, reusing buf's capacity for
+// the body, and returns the op, the payload (aliasing the returned
+// buffer) and the grown buffer for the next call. The length prefix is
+// validated before the body is read, so a hostile prefix cannot drive
+// an allocation past MaxFrame; a short read surfaces as
+// ErrFrameTruncated (wrapping the underlying error) rather than a
+// partially filled payload.
+func ReadFrame(r io.Reader, buf []byte) (op Op, payload, bufOut []byte, err error) {
+	var header [headerLen]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		// EOF before any header byte is a clean end of stream; anything
+		// later is a truncation.
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			err = fmt.Errorf("%w: %v", ErrFrameTruncated, err)
+		}
+		return 0, nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(header[:])
+	if n == 0 {
+		return 0, nil, buf, fmt.Errorf("transport: empty frame body")
+	}
+	if n > MaxFrame {
+		return 0, nil, buf, ErrFrameTooLarge
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, fmt.Errorf("%w: %v", ErrFrameTruncated, err)
+	}
+	return Op(buf[0]), buf[1:], buf, nil
+}

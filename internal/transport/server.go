@@ -1,0 +1,338 @@
+package transport
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/expertise"
+	"repro/internal/ingest"
+	"repro/internal/microblog"
+	"repro/internal/shard"
+	"repro/internal/world"
+)
+
+// newIncarnation draws the per-lifetime random server identity.
+func newIncarnation() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a constant
+		// here only weakens restart detection, so degrade quietly.
+		return 1
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// ServerConfig tunes a ShardServer.
+type ServerConfig struct {
+	// Shard and NumShards are the partition coordinates this server
+	// claims in OpInfo — the deployment handshake clients verify.
+	Shard, NumShards int
+	// MaxTweetsPage caps one OpTweets page regardless of what the
+	// request asks for, bounding response frames. Zero means 2048.
+	MaxTweetsPage int
+}
+
+// DefaultServerConfig returns the serving defaults for shard i of n.
+func DefaultServerConfig(i, n int) ServerConfig {
+	return ServerConfig{Shard: i, NumShards: n, MaxTweetsPage: 2048}
+}
+
+// ShardServer serves one shard's ingest.Index over the wire protocol:
+// each accepted connection is handled by one goroutine running a
+// sequential read-dispatch-respond loop. Query execution happens in a
+// shard.Local wrapping the index — the identical code path the
+// in-process Router topology runs — so the only thing the wire adds is
+// encode/decode, which carries integers and therefore cannot perturb
+// the ranking.
+type ShardServer struct {
+	idx   *ingest.Index
+	local *shard.Local
+	cfg   ServerConfig
+	ln    net.Listener
+	// incarnation is drawn once per server lifetime and reported in
+	// OpInfo; clients pin it at handshake and refuse to silently
+	// reconnect to a restarted (epoch-regressed, content-lost) server.
+	incarnation uint64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+}
+
+// Serve starts serving idx on ln in background goroutines and returns
+// immediately. Close stops accepting, closes every open connection and
+// waits for the handlers; Wait blocks until the accept loop exits.
+func Serve(ln net.Listener, idx *ingest.Index, cfg ServerConfig) *ShardServer {
+	if cfg.MaxTweetsPage <= 0 {
+		cfg.MaxTweetsPage = 2048
+	}
+	s := &ShardServer{
+		idx:         idx,
+		local:       shard.NewLocal(idx),
+		cfg:         cfg,
+		ln:          ln,
+		incarnation: newIncarnation(),
+		conns:       make(map[net.Conn]struct{}),
+	}
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen is the one-call form of Serve: it binds addr (TCP; ":0" picks
+// a free port — read it back with Addr) and starts serving.
+func Listen(addr string, idx *ingest.Index, cfg ServerConfig) (*ShardServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return Serve(ln, idx, cfg), nil
+}
+
+// Addr returns the listening address.
+func (s *ShardServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Index returns the served streaming index.
+func (s *ShardServer) Index() *ingest.Index { return s.idx }
+
+// Wait blocks until the server stops accepting (Close, or a fatal
+// listener error).
+func (s *ShardServer) Wait() {
+	s.acceptWG.Wait()
+}
+
+// Close stops accepting, closes every open connection and waits for
+// the per-connection handlers to drain. The underlying index is not
+// closed — it belongs to the caller.
+func (s *ShardServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.acceptWG.Wait()
+	s.connWG.Wait()
+	return err
+}
+
+// acceptLoop admits connections until the listener closes.
+func (s *ShardServer) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// forget drops a finished connection from the close set.
+func (s *ShardServer) forget(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// connState is the per-connection request-handling state: buffered IO,
+// reusable frame/payload buffers, and the one piece of protocol state —
+// the view the last OpSearch pinned, which a following OpStats reads so
+// both halves of a query observe the same snapshot.
+type connState struct {
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	in   []byte // frame read buffer
+	out  []byte // response build buffer
+	rows []expertise.RawCandidate
+	stat []expertise.UserStats
+	uids []world.UserID
+	view shard.View
+}
+
+// handle runs one connection's sequential request loop until the peer
+// hangs up, a frame fails to parse, or the server closes.
+func (s *ShardServer) handle(conn net.Conn) {
+	defer s.connWG.Done()
+	defer s.forget(conn)
+	defer conn.Close()
+	st := &connState{
+		br: bufio.NewReader(conn),
+		bw: bufio.NewWriter(conn),
+	}
+	defer func() {
+		if st.view != nil {
+			st.view.Release()
+			st.view = nil
+		}
+	}()
+	for {
+		op, payload, buf, err := ReadFrame(st.br, st.in)
+		st.in = buf
+		if err != nil {
+			// EOF and connection-reset are the peer leaving; a parse
+			// error means the stream is unframeable — either way the
+			// only safe move is to drop the connection (responding
+			// in-stream to an unsynchronized peer would corrupt it).
+			return
+		}
+		st.out = st.out[:0]
+		respOp, respErr := s.dispatch(st, op, payload)
+		if op != OpSearch && st.view != nil {
+			// The pin exists solely for the one OpStats that may
+			// immediately follow an OpSearch; any other op ends that
+			// conversation, so drop it rather than let an idle pooled
+			// connection retain a retired snapshot (and its segments)
+			// server-side indefinitely.
+			st.view.Release()
+			st.view = nil
+		}
+		if respErr != nil {
+			st.out = append(st.out[:0], respErr.Error()...)
+			respOp = OpError
+		}
+		var hdr [headerLen + 1]byte
+		binary.BigEndian.PutUint32(hdr[:headerLen], uint32(1+len(st.out)))
+		hdr[headerLen] = byte(respOp)
+		if _, err := st.bw.Write(hdr[:]); err != nil {
+			return
+		}
+		if _, err := st.bw.Write(st.out); err != nil {
+			return
+		}
+		if err := st.bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch decodes one request, executes it and builds the response
+// payload in st.out. A returned error becomes an OpError response; the
+// connection survives (the request was framed correctly, so the stream
+// is still synchronized).
+func (s *ShardServer) dispatch(st *connState, op Op, payload []byte) (Op, error) {
+	switch op {
+	case OpSearch:
+		req, _, err := ConsumeSearchReq(payload)
+		if err != nil {
+			return 0, err
+		}
+		if st.view != nil {
+			st.view.Release()
+			st.view = nil
+		}
+		var matched int
+		var view shard.View
+		st.rows, matched, view, err = s.local.Search(req.Terms, req.Extended, st.rows)
+		if err != nil {
+			return 0, err
+		}
+		st.view = view
+		st.out = AppendSearchResp(st.out, SearchResp{Matched: matched, Rows: st.rows})
+		return OpSearch, nil
+
+	case OpStats:
+		var err error
+		st.uids, _, err = expertise.ConsumeUserIDs(st.uids, payload)
+		if err != nil {
+			return 0, err
+		}
+		// A connection that has not searched yet reads the current
+		// snapshot; one that has reads the pinned one, completing the
+		// search→stats conversation against a single view.
+		view := st.view
+		if view == nil {
+			view = s.local.View()
+			defer view.Release()
+		}
+		st.stat, err = view.Stats(st.uids, st.stat)
+		if err != nil {
+			return 0, err
+		}
+		st.out = expertise.AppendUserStats(st.out, st.stat)
+		return OpStats, nil
+
+	case OpIngest:
+		req, _, err := ConsumeIngestReq(payload)
+		if err != nil {
+			return 0, err
+		}
+		resp := IngestResp{First: -1, Count: len(req.Posts)}
+		for i := range req.Posts {
+			id := s.idx.Ingest(req.Posts[i])
+			if i == 0 {
+				resp.First = id
+			}
+		}
+		st.out = AppendIngestResp(st.out, resp)
+		return OpIngest, nil
+
+	case OpEpoch:
+		st.out = AppendEpochResp(st.out, EpochResp{Epoch: s.idx.Epoch()})
+		return OpEpoch, nil
+
+	case OpQuiesce:
+		s.idx.Quiesce()
+		st.out = AppendEpochResp(st.out, EpochResp{Epoch: s.idx.Epoch()})
+		return OpQuiesce, nil
+
+	case OpInfo:
+		snap := s.idx.Snapshot()
+		st.out = AppendInfoResp(st.out, InfoResp{
+			Shard:       s.cfg.Shard,
+			NumShards:   s.cfg.NumShards,
+			Users:       len(s.idx.World().Users),
+			BaseTweets:  s.idx.Base().NumTweets(),
+			NumTweets:   snap.NumTweets(),
+			Epoch:       snap.Epoch(),
+			Incarnation: s.incarnation,
+		})
+		return OpInfo, nil
+
+	case OpTweets:
+		req, _, err := ConsumeTweetsReq(payload)
+		if err != nil {
+			return 0, err
+		}
+		snap := s.idx.Snapshot()
+		total := snap.NumTweets()
+		max := min(req.Max, s.cfg.MaxTweetsPage)
+		resp := TweetsResp{Total: total}
+		for gid := req.From; gid < total && len(resp.Posts) < max; gid++ {
+			tw := snap.Tweet(microblog.TweetID(gid))
+			resp.Posts = append(resp.Posts, microblog.Post{
+				Author:       tw.Author,
+				Text:         tw.Text,
+				Mentions:     tw.Mentions,
+				RetweetCount: tw.RetweetCount,
+				Topic:        tw.Topic,
+			})
+		}
+		st.out = AppendTweetsResp(st.out, resp)
+		return OpTweets, nil
+
+	default:
+		return 0, fmt.Errorf("transport: unknown op 0x%02x", byte(op))
+	}
+}

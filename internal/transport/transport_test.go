@@ -1,0 +1,361 @@
+package transport_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/expertise"
+	"repro/internal/ingest"
+	"repro/internal/microblog"
+	"repro/internal/shard"
+	"repro/internal/transport"
+	"repro/internal/world"
+)
+
+var (
+	pipeOnce sync.Once
+	pipe     *core.Pipeline
+	pipeSets []eval.QuerySet
+	pipeErr  error
+)
+
+func testPipeline(t testing.TB) (*core.Pipeline, []eval.QuerySet) {
+	t.Helper()
+	pipeOnce.Do(func() {
+		pipe, pipeErr = core.BuildPipeline(core.TinyPipelineConfig())
+		if pipeErr == nil {
+			pipeSets = eval.BuildQuerySets(pipe.World, pipe.Log,
+				eval.SetSizes{PerCategory: 25, Top: 60})
+		}
+	})
+	if pipeErr != nil {
+		t.Fatal(pipeErr)
+	}
+	return pipe, pipeSets
+}
+
+func streamPosts(p *core.Pipeline, seed uint64, n int) []microblog.Post {
+	s := microblog.NewPostStream(p.World, microblog.DefaultStreamConfig(seed))
+	posts := make([]microblog.Post, n)
+	for i := range posts {
+		posts[i] = s.Next()
+	}
+	return posts
+}
+
+func expertsIdentical(t *testing.T, label, query string, got, want []expertise.Expert) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s %q: %d results, reference has %d", label, query, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s %q rank %d:\n  got  %+v\n  want %+v", label, query, i, got[i], want[i])
+		}
+	}
+}
+
+// testClientConfig keeps test round trips snappy but tolerant of a
+// loaded CI container.
+func testClientConfig() transport.ClientConfig {
+	return transport.ClientConfig{Timeout: 10 * time.Second}
+}
+
+// startShardServers partitions the pipeline's base corpus across n
+// loopback ShardServers and returns handshaken RemoteShard clients,
+// one per shard, with cleanup registered on t.
+func startShardServers(t testing.TB, p *core.Pipeline, n int, icfg ingest.Config) []*transport.RemoteShard {
+	t.Helper()
+	clients := make([]*transport.RemoteShard, n)
+	for i := 0; i < n; i++ {
+		part := shard.Partition(p.Corpus, i, n)
+		idx := ingest.New(part, icfg)
+		srv, err := transport.Listen("127.0.0.1:0", idx, transport.DefaultServerConfig(i, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			srv.Close()
+			idx.Close()
+		})
+		c := transport.NewRemoteShard(srv.Addr().String(), testClientConfig())
+		t.Cleanup(func() { c.Close() })
+		if err := c.Handshake(i, n, len(p.World.Users), part.NumTweets()); err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	return clients
+}
+
+// TestRemoteQuiescedEquivalence is the acceptance bar of the transport:
+// for N ∈ {1, 2, 4}, after routing the same posts through loopback
+// ShardServers and quiescing over the wire, the remote scatter-gather
+// detector must return bit-identical ranked experts — and matched-tweet
+// counts — to the in-process Router and to a cold core.Detector rebuilt
+// over the same posts, for every query of every evaluation query set,
+// on both the e# and the baseline path. This is the e# equivalence
+// spine surviving a process boundary.
+func TestRemoteQuiescedEquivalence(t *testing.T) {
+	p, sets := testPipeline(t)
+	posts := streamPosts(p, 71, 400)
+	icfg := ingest.Config{SealThreshold: 32, CompactFanIn: 3}
+
+	cold := core.NewDetector(p.Collection, p.Corpus.ExtendedWith(posts), p.Cfg.Online)
+
+	for _, n := range []int{1, 2, 4} {
+		// In-process reference over the identical partitioning.
+		router := shard.New(p.Corpus, shard.Config{Shards: n, Ingest: icfg})
+		router.IngestBatch(posts)
+		router.Quiesce()
+		local := core.NewShardedLiveDetector(p.Collection, router, p.Cfg.Online)
+
+		clients := startShardServers(t, p, n, icfg)
+		backends := make([]shard.Backend, n)
+		for i, c := range clients {
+			backends[i] = c
+		}
+		cluster := shard.NewCluster(p.World, backends...)
+		if err := cluster.IngestBatch(posts); err != nil {
+			t.Fatal(err)
+		}
+		if err := cluster.Quiesce(); err != nil {
+			t.Fatal(err)
+		}
+		remote := core.NewShardedLiveDetectorOver(p.Collection, cluster, p.Cfg.Online)
+
+		if ev, err := cluster.EpochVector(nil); err != nil || len(ev) != n {
+			t.Fatalf("N=%d: epoch vector %v, err %v", n, ev, err)
+		}
+		total := 0
+		for _, set := range sets {
+			for _, q := range set.Queries {
+				total++
+				gotES, gotTrace := remote.Search(q)
+				wantES, wantTrace := local.Search(q)
+				coldES, coldTrace := cold.Search(q)
+				expertsIdentical(t, "remote-vs-local", q, gotES, wantES)
+				expertsIdentical(t, "remote-vs-cold", q, gotES, coldES)
+				if gotTrace.MatchedTweets != wantTrace.MatchedTweets ||
+					gotTrace.MatchedTweets != coldTrace.MatchedTweets {
+					t.Fatalf("N=%d %q: matched %d tweets over the wire, local %d, cold %d",
+						n, q, gotTrace.MatchedTweets, wantTrace.MatchedTweets, coldTrace.MatchedTweets)
+				}
+				expertsIdentical(t, "remote-baseline", q,
+					remote.SearchBaseline(q), local.SearchBaseline(q))
+			}
+		}
+		if total == 0 {
+			t.Fatal("no queries in eval sets")
+		}
+		if pq, se := remote.PartialStats(); pq != 0 || se != 0 {
+			t.Fatalf("N=%d: healthy cluster reported partial queries %d, shard errors %d", n, pq, se)
+		}
+		router.Close()
+	}
+}
+
+// TestMixedLocalRemoteEquivalence wires a 4-shard cluster with two
+// in-process backends and two behind the wire — the
+// drain-one-process-at-a-time deployment shape — and holds it to the
+// same bit-identical bar against a cold rebuild.
+func TestMixedLocalRemoteEquivalence(t *testing.T) {
+	p, sets := testPipeline(t)
+	posts := streamPosts(p, 73, 300)
+	icfg := ingest.Config{SealThreshold: 32, CompactFanIn: 3}
+	const n = 4
+
+	clients := startShardServers(t, p, n, icfg)
+	backends := make([]shard.Backend, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			idx := ingest.New(shard.Partition(p.Corpus, i, n), icfg)
+			t.Cleanup(idx.Close)
+			backends[i] = shard.NewLocal(idx)
+		} else {
+			backends[i] = clients[i]
+		}
+	}
+	cluster := shard.NewCluster(p.World, backends...)
+	if err := cluster.IngestBatch(posts); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	mixed := core.NewShardedLiveDetectorOver(p.Collection, cluster, p.Cfg.Online)
+	cold := core.NewDetector(p.Collection, p.Corpus.ExtendedWith(posts), p.Cfg.Online)
+
+	for _, set := range sets {
+		for _, q := range set.Queries {
+			got, gotTrace := mixed.Search(q)
+			want, wantTrace := cold.Search(q)
+			expertsIdentical(t, "mixed-vs-cold", q, got, want)
+			if gotTrace.MatchedTweets != wantTrace.MatchedTweets {
+				t.Fatalf("%q: matched %d tweets, cold %d", q, gotTrace.MatchedTweets, wantTrace.MatchedTweets)
+			}
+		}
+	}
+	if pq, se := mixed.PartialStats(); pq != 0 || se != 0 {
+		t.Fatalf("healthy mixed cluster reported partial queries %d, shard errors %d", pq, se)
+	}
+}
+
+// TestConcurrentRemoteIngestSearch is the -race hammer over the wire:
+// concurrent routed ingesters stream posts through the cluster while
+// scatter-gather searchers query it, all over loopback TCP with every
+// shard's compactor running. Afterwards the quiesced cluster must match
+// a cold detector rebuilt from content paged back over the wire.
+func TestConcurrentRemoteIngestSearch(t *testing.T) {
+	p, _ := testPipeline(t)
+	const n = 2
+	clients := startShardServers(t, p, n, ingest.Config{SealThreshold: 16, CompactFanIn: 3})
+	backends := make([]shard.Backend, n)
+	for i, c := range clients {
+		backends[i] = c
+	}
+	cluster := shard.NewCluster(p.World, backends...)
+	remote := core.NewShardedLiveDetectorOver(p.Collection, cluster, p.Cfg.Online)
+	queries := []string{"49ers", "diabetes", "nfl", "dow futures", "coffee", "zzz-none"}
+	maxResults := p.Cfg.Online.Expertise.MaxResults
+
+	const ingesters, perIngester = 2, 100
+	const searchers, perSearcher = 4, 50
+	errs := make(chan error, ingesters+searchers)
+	var wg sync.WaitGroup
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stream := microblog.NewPostStream(p.World, microblog.DefaultStreamConfig(uint64(400+g)))
+			for i := 0; i < perIngester; i++ {
+				if _, err := cluster.Ingest(stream.Next()); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < searchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSearcher; i++ {
+				q := queries[(g+i)%len(queries)]
+				var experts []expertise.Expert
+				if i%3 == 0 {
+					experts = remote.SearchBaseline(q)
+				} else {
+					experts, _ = remote.Search(q)
+				}
+				if maxResults > 0 && len(experts) > maxResults {
+					errs <- errInvariant("result cap exceeded")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if pq, se := remote.PartialStats(); pq != 0 || se != 0 {
+		t.Fatalf("healthy cluster reported partial queries %d, shard errors %d under load", pq, se)
+	}
+	if err := cluster.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold rebuild from the shards' own final content, paged back over
+	// the wire.
+	all := append([]microblog.Tweet(nil), p.Corpus.Tweets()...)
+	totalIngested := 0
+	for _, c := range clients {
+		posts, err := c.DumpIngested()
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalIngested += len(posts)
+		for _, post := range posts {
+			all = append(all, microblog.MakeTweet(post))
+		}
+	}
+	if want := ingesters * perIngester; totalIngested != want {
+		t.Fatalf("paged %d ingested posts back, want %d", totalIngested, want)
+	}
+	cold := core.NewDetector(p.Collection, microblog.FromTweets(p.World, all), p.Cfg.Online)
+	for _, q := range queries {
+		got, _ := remote.Search(q)
+		want, _ := cold.Search(q)
+		expertsIdentical(t, "post-hammer", q, got, want)
+	}
+}
+
+// TestHandshakeRejectsMisdeployment pins the wiring-time checks: a
+// client handshaken against the wrong shard index, partition count or
+// base slice must fail before any query does.
+func TestHandshakeRejectsMisdeployment(t *testing.T) {
+	p, _ := testPipeline(t)
+	clients := startShardServers(t, p, 2, ingest.DefaultConfig())
+	part0 := shard.Partition(p.Corpus, 0, 2)
+
+	if err := clients[0].Handshake(0, 2, len(p.World.Users), part0.NumTweets()); err != nil {
+		t.Fatalf("correct handshake failed: %v", err)
+	}
+	if err := clients[0].Handshake(1, 2, len(p.World.Users), part0.NumTweets()); err == nil {
+		t.Fatal("wrong shard index accepted")
+	}
+	if err := clients[0].Handshake(0, 4, len(p.World.Users), part0.NumTweets()); err == nil {
+		t.Fatal("wrong partition count accepted")
+	}
+	if err := clients[0].Handshake(0, 2, len(p.World.Users)+1, part0.NumTweets()); err == nil {
+		t.Fatal("wrong world size accepted")
+	}
+	if err := clients[0].Handshake(0, 2, len(p.World.Users), part0.NumTweets()+1); err == nil {
+		t.Fatal("wrong base slice accepted")
+	}
+}
+
+// TestConnectionReuse pins the pooling behaviour the latency numbers
+// rest on: a sequence of queries on one client reuses one connection
+// instead of dialing per request.
+func TestConnectionReuse(t *testing.T) {
+	p, _ := testPipeline(t)
+	clients := startShardServers(t, p, 1, ingest.DefaultConfig())
+	c := clients[0]
+	dialsAfterHandshake := c.Dials()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Epoch(); err != nil {
+			t.Fatal(err)
+		}
+		rows, _, v, err := c.Search([]string{"49ers"}, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) > 0 {
+			users := make([]world.UserID, 0, len(rows))
+			for _, rc := range rows {
+				users = append(users, rc.User)
+			}
+			stats, err := v.Stats(users, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(stats) != len(users) {
+				t.Fatalf("stats returned %d triples for %d users", len(stats), len(users))
+			}
+		}
+		v.Release()
+	}
+	if d := c.Dials(); d != dialsAfterHandshake {
+		t.Fatalf("10 query rounds dialed %d extra connections, want 0", d-dialsAfterHandshake)
+	}
+}
+
+type errInvariant string
+
+func (e errInvariant) Error() string { return string(e) }

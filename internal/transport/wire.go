@@ -1,0 +1,404 @@
+// Payload encodings for every protocol op: varint-based, append-style
+// on the encode side, slice-consuming on the decode side. The candidate
+// and denominator rows reuse the codecs in internal/expertise (the
+// merge inputs are the part of the exchange whose exactness the
+// equivalence spine depends on); everything here follows the same
+// discipline — length fields are validated against the bytes actually
+// present before any allocation.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/expertise"
+	"repro/internal/microblog"
+	"repro/internal/world"
+)
+
+// SearchReq is the OpSearch payload: the query and its expansion terms
+// (the shard matches each and unions the results), plus the
+// extended-feature flag the coordinator's parameter set implies.
+type SearchReq struct {
+	Extended bool
+	Terms    []string
+}
+
+// AppendSearchReq appends the encoded request to buf.
+func AppendSearchReq(buf []byte, req SearchReq) []byte {
+	if req.Extended {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(req.Terms)))
+	for _, t := range req.Terms {
+		buf = appendString(buf, t)
+	}
+	return buf
+}
+
+// ConsumeSearchReq decodes a SearchReq off the front of buf.
+func ConsumeSearchReq(buf []byte) (SearchReq, []byte, error) {
+	var req SearchReq
+	if len(buf) == 0 {
+		return req, buf, fmt.Errorf("search req: %w", ErrFrameTruncated)
+	}
+	req.Extended = buf[0] != 0
+	buf = buf[1:]
+	n, buf, err := consumeCount(buf, 1)
+	if err != nil {
+		return req, buf, fmt.Errorf("search req terms: %w", err)
+	}
+	req.Terms = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var t string
+		t, buf, err = consumeString(buf)
+		if err != nil {
+			return req, buf, fmt.Errorf("search req term %d: %w", i, err)
+		}
+		req.Terms = append(req.Terms, t)
+	}
+	return req, buf, nil
+}
+
+// SearchResp is the OpSearch response: the size of the shard's
+// matched-tweet union and the raw candidate rows extracted from it,
+// ascending by user.
+type SearchResp struct {
+	Matched int
+	Rows    []expertise.RawCandidate
+}
+
+// AppendSearchResp appends the encoded response to buf.
+func AppendSearchResp(buf []byte, resp SearchResp) []byte {
+	buf = binary.AppendUvarint(buf, uint64(resp.Matched))
+	return expertise.AppendRawCandidates(buf, resp.Rows)
+}
+
+// ConsumeSearchResp decodes a SearchResp off the front of buf,
+// appending rows into rows (capacity reused, contents discarded).
+func ConsumeSearchResp(rows []expertise.RawCandidate, buf []byte) (SearchResp, []byte, error) {
+	var resp SearchResp
+	m, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return resp, buf, fmt.Errorf("search resp matched: %w", err)
+	}
+	resp.Matched = int(m)
+	resp.Rows, buf, err = expertise.ConsumeRawCandidates(rows, buf)
+	if err != nil {
+		return resp, buf, fmt.Errorf("search resp: %w", err)
+	}
+	return resp, buf, nil
+}
+
+// IngestReq is the OpIngest payload: a batch of routed posts.
+type IngestReq struct {
+	Posts []microblog.Post
+}
+
+// AppendIngestReq appends the encoded request to buf.
+func AppendIngestReq(buf []byte, req IngestReq) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(req.Posts)))
+	for i := range req.Posts {
+		buf = appendPost(buf, &req.Posts[i])
+	}
+	return buf
+}
+
+// ConsumeIngestReq decodes an IngestReq off the front of buf.
+func ConsumeIngestReq(buf []byte) (IngestReq, []byte, error) {
+	var req IngestReq
+	n, buf, err := consumeCount(buf, 4)
+	if err != nil {
+		return req, buf, fmt.Errorf("ingest req: %w", err)
+	}
+	req.Posts = make([]microblog.Post, 0, n)
+	for i := 0; i < n; i++ {
+		var p microblog.Post
+		p, buf, err = consumePost(buf)
+		if err != nil {
+			return req, buf, fmt.Errorf("ingest req post %d: %w", i, err)
+		}
+		req.Posts = append(req.Posts, p)
+	}
+	return req, buf, nil
+}
+
+// IngestResp is the OpIngest response: the shard-local id of the
+// batch's first post (-1 for an empty batch) and the accepted count.
+type IngestResp struct {
+	First microblog.TweetID
+	Count int
+}
+
+// AppendIngestResp appends the encoded response to buf.
+func AppendIngestResp(buf []byte, resp IngestResp) []byte {
+	buf = binary.AppendVarint(buf, int64(resp.First))
+	return binary.AppendUvarint(buf, uint64(resp.Count))
+}
+
+// ConsumeIngestResp decodes an IngestResp off the front of buf.
+func ConsumeIngestResp(buf []byte) (IngestResp, []byte, error) {
+	var resp IngestResp
+	first, buf, err := consumeVarint(buf)
+	if err != nil {
+		return resp, buf, fmt.Errorf("ingest resp first: %w", err)
+	}
+	resp.First = microblog.TweetID(first)
+	n, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return resp, buf, fmt.Errorf("ingest resp count: %w", err)
+	}
+	resp.Count = int(n)
+	return resp, buf, nil
+}
+
+// EpochResp is the OpEpoch / OpQuiesce response.
+type EpochResp struct {
+	Epoch uint64
+}
+
+// AppendEpochResp appends the encoded response to buf.
+func AppendEpochResp(buf []byte, resp EpochResp) []byte {
+	return binary.AppendUvarint(buf, resp.Epoch)
+}
+
+// ConsumeEpochResp decodes an EpochResp off the front of buf.
+func ConsumeEpochResp(buf []byte) (EpochResp, []byte, error) {
+	e, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return EpochResp{}, buf, fmt.Errorf("epoch resp: %w", err)
+	}
+	return EpochResp{Epoch: e}, buf, nil
+}
+
+// InfoResp is the OpInfo response: which partition this server claims
+// to hold and how much of it is populated. Clients use it as a
+// deployment handshake — a coordinator wired to the wrong shard, the
+// wrong partition count or a differently built base corpus finds out
+// before the first query does.
+type InfoResp struct {
+	// Shard and NumShards are the served partition's coordinates.
+	Shard, NumShards int
+	// Users is the world size (ranking arenas are sized by it).
+	Users int
+	// BaseTweets and NumTweets count the frozen base slice and the
+	// current total (base plus ingested).
+	BaseTweets, NumTweets int
+	// Epoch is the current snapshot epoch.
+	Epoch uint64
+	// Incarnation is a random value drawn once per server lifetime. A
+	// client pins it at handshake and re-checks it on every fresh dial:
+	// a restarted server carries a new incarnation, and must be treated
+	// as a different (empty-again) shard rather than silently reconnected
+	// to — its epoch has regressed and its ingested content is gone.
+	Incarnation uint64
+}
+
+// AppendInfoResp appends the encoded response to buf.
+func AppendInfoResp(buf []byte, resp InfoResp) []byte {
+	buf = binary.AppendUvarint(buf, uint64(resp.Shard))
+	buf = binary.AppendUvarint(buf, uint64(resp.NumShards))
+	buf = binary.AppendUvarint(buf, uint64(resp.Users))
+	buf = binary.AppendUvarint(buf, uint64(resp.BaseTweets))
+	buf = binary.AppendUvarint(buf, uint64(resp.NumTweets))
+	buf = binary.AppendUvarint(buf, resp.Epoch)
+	return binary.AppendUvarint(buf, resp.Incarnation)
+}
+
+// ConsumeInfoResp decodes an InfoResp off the front of buf.
+func ConsumeInfoResp(buf []byte) (InfoResp, []byte, error) {
+	var fields [7]uint64
+	var err error
+	for f := range fields {
+		fields[f], buf, err = consumeUvarint(buf)
+		if err != nil {
+			return InfoResp{}, buf, fmt.Errorf("info resp: %w", err)
+		}
+	}
+	return InfoResp{
+		Shard:       int(fields[0]),
+		NumShards:   int(fields[1]),
+		Users:       int(fields[2]),
+		BaseTweets:  int(fields[3]),
+		NumTweets:   int(fields[4]),
+		Epoch:       fields[5],
+		Incarnation: fields[6],
+	}, buf, nil
+}
+
+// TweetsReq is the OpTweets payload: a page request over the shard's
+// global tweet-id space.
+type TweetsReq struct {
+	// From is the first global id wanted; Max caps the page size (the
+	// server may return fewer — it also honors its own cap).
+	From, Max int
+}
+
+// AppendTweetsReq appends the encoded request to buf.
+func AppendTweetsReq(buf []byte, req TweetsReq) []byte {
+	buf = binary.AppendUvarint(buf, uint64(req.From))
+	return binary.AppendUvarint(buf, uint64(req.Max))
+}
+
+// ConsumeTweetsReq decodes a TweetsReq off the front of buf.
+func ConsumeTweetsReq(buf []byte) (TweetsReq, []byte, error) {
+	from, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return TweetsReq{}, buf, fmt.Errorf("tweets req from: %w", err)
+	}
+	max, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return TweetsReq{}, buf, fmt.Errorf("tweets req max: %w", err)
+	}
+	return TweetsReq{From: int(from), Max: int(max)}, buf, nil
+}
+
+// TweetsResp is the OpTweets response: the page's posts and the shard's
+// current total, so the client knows when it has paged everything. The
+// posts travel in the raw Post form; re-rendering through
+// microblog.MakeTweet reproduces the exact tokenization the shard
+// indexed, so a cold rebuild from paged content is bit-identical.
+type TweetsResp struct {
+	Total int
+	Posts []microblog.Post
+}
+
+// AppendTweetsResp appends the encoded response to buf.
+func AppendTweetsResp(buf []byte, resp TweetsResp) []byte {
+	buf = binary.AppendUvarint(buf, uint64(resp.Total))
+	buf = binary.AppendUvarint(buf, uint64(len(resp.Posts)))
+	for i := range resp.Posts {
+		buf = appendPost(buf, &resp.Posts[i])
+	}
+	return buf
+}
+
+// ConsumeTweetsResp decodes a TweetsResp off the front of buf.
+func ConsumeTweetsResp(buf []byte) (TweetsResp, []byte, error) {
+	var resp TweetsResp
+	total, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return resp, buf, fmt.Errorf("tweets resp total: %w", err)
+	}
+	resp.Total = int(total)
+	n, buf, err := consumeCount(buf, 4)
+	if err != nil {
+		return resp, buf, fmt.Errorf("tweets resp: %w", err)
+	}
+	resp.Posts = make([]microblog.Post, 0, n)
+	for i := 0; i < n; i++ {
+		var p microblog.Post
+		p, buf, err = consumePost(buf)
+		if err != nil {
+			return resp, buf, fmt.Errorf("tweets resp post %d: %w", i, err)
+		}
+		resp.Posts = append(resp.Posts, p)
+	}
+	return resp, buf, nil
+}
+
+// appendPost appends one raw post: author, text, mentions, retweet
+// count, and the zigzag-encoded topic (-1 means chatter).
+func appendPost(buf []byte, p *microblog.Post) []byte {
+	buf = binary.AppendUvarint(buf, uint64(p.Author))
+	buf = appendString(buf, p.Text)
+	buf = binary.AppendUvarint(buf, uint64(len(p.Mentions)))
+	for _, m := range p.Mentions {
+		buf = binary.AppendUvarint(buf, uint64(m))
+	}
+	buf = binary.AppendUvarint(buf, uint64(p.RetweetCount))
+	return binary.AppendVarint(buf, int64(p.Topic))
+}
+
+// consumePost decodes one raw post off the front of buf.
+func consumePost(buf []byte) (microblog.Post, []byte, error) {
+	var p microblog.Post
+	author, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return p, buf, err
+	}
+	p.Author = world.UserID(author)
+	p.Text, buf, err = consumeString(buf)
+	if err != nil {
+		return p, buf, err
+	}
+	nm, buf, err := consumeCount(buf, 1)
+	if err != nil {
+		return p, buf, err
+	}
+	if nm > 0 {
+		p.Mentions = make([]world.UserID, 0, nm)
+		for i := 0; i < nm; i++ {
+			var m uint64
+			m, buf, err = consumeUvarint(buf)
+			if err != nil {
+				return p, buf, err
+			}
+			p.Mentions = append(p.Mentions, world.UserID(m))
+		}
+	}
+	rt, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return p, buf, err
+	}
+	p.RetweetCount = int(rt)
+	topic, buf, err := consumeVarint(buf)
+	if err != nil {
+		return p, buf, err
+	}
+	p.Topic = world.TopicID(topic)
+	return p, buf, nil
+}
+
+// appendString appends a length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// consumeString reads a length-prefixed string, validating the length
+// against the bytes present before allocating.
+func consumeString(buf []byte) (string, []byte, error) {
+	n, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return "", buf, err
+	}
+	if n > uint64(len(buf)) {
+		return "", buf, fmt.Errorf("string length %d exceeds payload: %w", n, ErrFrameTruncated)
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+// consumeCount reads an element count and rejects it unless the
+// remaining bytes could hold that many elements of at least minBytes
+// each — the same over-allocation guard the expertise codecs apply.
+func consumeCount(buf []byte, minBytes int) (int, []byte, error) {
+	n, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return 0, buf, err
+	}
+	if n > uint64(len(buf)/minBytes) {
+		return 0, buf, fmt.Errorf("count %d exceeds payload: %w", n, ErrFrameTruncated)
+	}
+	return int(n), buf, nil
+}
+
+// consumeUvarint reads one uvarint off the front of buf.
+func consumeUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, buf, ErrFrameTruncated
+	}
+	return v, buf[n:], nil
+}
+
+// consumeVarint reads one zigzag varint off the front of buf.
+func consumeVarint(buf []byte) (int64, []byte, error) {
+	v, n := binary.Varint(buf)
+	if n <= 0 {
+		return 0, buf, ErrFrameTruncated
+	}
+	return v, buf[n:], nil
+}
