@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench cover cover-check check docs-check bench-shard bench-remote fuzz-smoke
+.PHONY: all build test race vet bench cover cover-check check docs-check bench-shard bench-remote bench-replica fuzz-smoke
 
 all: check
 
@@ -11,10 +11,10 @@ test:
 	$(GO) test ./...
 
 # The serving layer, the online detectors, the streaming index, the
-# sharded router and the wire transport are the concurrent surfaces;
-# hammer them with the race detector enabled.
+# sharded router, the wire transport and the replica sets are the
+# concurrent surfaces; hammer them with the race detector enabled.
 race:
-	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog ./internal/ingest ./internal/shard ./internal/transport
+	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog ./internal/ingest ./internal/shard ./internal/transport ./internal/replica
 
 vet:
 	$(GO) vet ./...
@@ -25,7 +25,7 @@ vet:
 docs-check: vet
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt -l found unformatted files:"; echo "$$fmtout"; exit 1; fi
-	$(GO) run ./cmd/docscheck ./internal/shard ./internal/core ./internal/transport
+	$(GO) run ./cmd/docscheck ./internal/shard ./internal/core ./internal/transport ./internal/replica
 
 # Hot-path and serving benchmarks; `make bench BENCH=.` runs everything
 # in the root package. Streaming benchmarks live in internal/ingest,
@@ -44,6 +44,9 @@ bench-shard:
 
 bench-remote:
 	$(GO) test -bench 'Remote|WireSearchCodec' -benchmem -run '^$$' ./internal/transport
+
+bench-replica:
+	$(GO) test -bench 'Replicated|Failover' -benchmem -run '^$$' ./internal/replica
 
 # A brief native-fuzz pass over the wire codec (FuzzDecodeFrame): the
 # decoders must never panic or over-allocate on adversarial input.

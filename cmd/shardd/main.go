@@ -15,6 +15,17 @@
 //	shardd -addr :7104 -shard 3 -of 4 &
 //	go run ./examples/streaming -remote localhost:7101,localhost:7102,localhost:7103,localhost:7104
 //
+// Replication (internal/replica) needs no shardd-side support at all:
+// a replica is just another shardd started with the *same* -shard/-of
+// coordinates, and the coordinator groups replicas with '|' inside a
+// shard's slot — the first address of each group is the primary:
+//
+//	shardd -addr :7101 -shard 0 -of 2 &
+//	shardd -addr :7111 -shard 0 -of 2 &   # replica of shard 0
+//	shardd -addr :7102 -shard 1 -of 2 &
+//	shardd -addr :7112 -shard 1 -of 2 &   # replica of shard 1
+//	go run ./examples/streaming -remote "localhost:7101|localhost:7111,localhost:7102|localhost:7112"
+//
 // The streaming example's final check then holds the whole deployment
 // to the usual bar: quiesced ranking over the wire must be
 // bit-identical to a cold single-process rebuild.

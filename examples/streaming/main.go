@@ -14,10 +14,26 @@
 // processes (cmd/shardd, one per partition, started with matching
 // -shard/-of flags) and the scatter-gather runs over the wire protocol
 // of internal/transport — searches, denominator fetches, routed
-// ingest and the final quiesce all cross TCP. The equivalence check is
-// the same in every topology: the live index must agree with a cold
-// rebuild bit for bit, which for -remote means the wire itself is held
-// to the bar.
+// ingest and the final quiesce all cross TCP.
+//
+// With -replicas R (R > 1) every shard becomes a replica.Set: one
+// primary plus R-1 followers holding identical content, writes
+// replicated synchronously, reads rotated across the replicas and
+// failing over on error instead of degrading to partial results. In
+// the -remote form, replicas of one shard are separated by '|' inside
+// the shard's comma-separated slot — e.g.
+//
+//	shardd -addr :7101 -shard 0 -of 2 &
+//	shardd -addr :7111 -shard 0 -of 2 &
+//	shardd -addr :7102 -shard 1 -of 2 &
+//	shardd -addr :7112 -shard 1 -of 2 &
+//	go run ./examples/streaming -remote "localhost:7101|localhost:7111,localhost:7102|localhost:7112"
+//
+// wires a 2-shard × 2-replica deployment where the first address of
+// each group is the shard's primary. The equivalence check is the
+// same in every topology: the live index must agree with a cold
+// rebuild bit for bit, which for -remote means the wire — and for
+// replicated topologies the replication fan-out — is held to the bar.
 package main
 
 import (
@@ -33,6 +49,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/ingest"
 	"repro/internal/microblog"
+	"repro/internal/replica"
 	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/transport"
@@ -57,7 +74,8 @@ func (s clusterSink) Epoch() uint64       { return s.c.Epoch() }
 
 func main() {
 	shards := flag.Int("shards", 1, "number of author-partitioned shards (1 = single-node live index)")
-	remote := flag.String("remote", "", "comma-separated shardd addresses; scatter-gather over the wire (overrides -shards)")
+	replicas := flag.Int("replicas", 1, "replicas per shard (primary + followers; 1 = unreplicated)")
+	remote := flag.String("remote", "", "comma-separated shardd address groups, '|'-separated replicas within a group; scatter-gather over the wire (overrides -shards)")
 	flag.Parse()
 
 	pipeline, err := core.BuildPipeline(core.TinyPipelineConfig())
@@ -84,8 +102,8 @@ func main() {
 		collect func() []microblog.Tweet // ingested tweets, for the cold rebuild
 	)
 	if *remote != "" {
-		addrs := strings.Split(*remote, ",")
-		n := len(addrs)
+		groups := strings.Split(*remote, ",")
+		n := len(groups)
 		*shards = n
 		// One counting pass over the base gives every partition's size
 		// (no need to materialize the per-shard corpora the shardd
@@ -95,21 +113,82 @@ func main() {
 			partSize[shard.ShardOf(tw.Author, n)]++
 		}
 		backends := make([]shard.Backend, n)
-		clients := make([]*transport.RemoteShard, n)
-		for i, addr := range addrs {
-			c := transport.NewRemoteShard(strings.TrimSpace(addr), transport.DefaultClientConfig())
-			defer c.Close()
+		primaries := make([]*transport.RemoteShard, n)
+		maxReplicas := 1
+		for i, group := range groups {
+			addrs := strings.Split(group, "|")
 			// The handshake proves each process serves the partition this
 			// coordinator expects, over the identical deterministic base —
-			// a mismatched shardd would silently break the equivalence
-			// check below, so fail here instead.
-			if err := c.Handshake(i, n, len(pipeline.World.Users), partSize[i]); err != nil {
+			// a mismatched shardd (or replica) would silently break the
+			// equivalence check below, so fail here instead.
+			reps, err := transport.DialReplicas(addrs, i, n,
+				len(pipeline.World.Users), partSize[i], transport.DefaultClientConfig())
+			if err != nil {
 				log.Fatal(err)
 			}
-			clients[i] = c
-			backends[i] = c
+			primaries[i] = reps[0].(*transport.RemoteShard)
+			if len(reps) == 1 {
+				backends[i] = reps[0]
+			} else {
+				set, err := replica.NewSet(reps, replica.DefaultConfig())
+				if err != nil {
+					log.Fatal(err)
+				}
+				backends[i] = set
+			}
+			maxReplicas = max(maxReplicas, len(reps))
+		}
+		*replicas = maxReplicas
+		cluster := shard.NewCluster(pipeline.World, backends...)
+		defer cluster.Close()
+		backend = core.NewShardedLiveDetectorOver(pipeline.Collection, cluster, online)
+		sink = clusterSink{cluster}
+		collect = func() []microblog.Tweet {
+			if err := cluster.Quiesce(); err != nil {
+				log.Fatal(err)
+			}
+			// Writes land on every replica; the primary is the durability
+			// contract, so the cold rebuild pages its content back.
+			var all []microblog.Tweet
+			for _, c := range primaries {
+				posts, err := c.DumpIngested()
+				if err != nil {
+					log.Fatal(err)
+				}
+				for _, p := range posts {
+					all = append(all, microblog.MakeTweet(p))
+				}
+			}
+			return all
+		}
+	} else if *replicas > 1 {
+		// In-process replicated topology: every shard is a replica.Set of
+		// R identical indexes over the shard's base partition — writes
+		// fan out to all of them, reads rotate, and the logical write
+		// epoch (not any replica's index epoch) identifies the view to
+		// the serving cache.
+		n := max(*shards, 1)
+		*shards = n
+		backends := make([]shard.Backend, n)
+		primaries := make([]*ingest.Index, n)
+		for i := 0; i < n; i++ {
+			part := shard.Partition(pipeline.Corpus, i, n)
+			members := make([]shard.Backend, *replicas)
+			for j := range members {
+				idx := ingest.New(part, icfg)
+				if j == 0 {
+					primaries[i] = idx
+				}
+				members[j] = shard.NewLocal(idx)
+			}
+			set, err := replica.NewSet(members, replica.DefaultConfig())
+			if err != nil {
+				log.Fatal(err)
+			}
+			backends[i] = set
 		}
 		cluster := shard.NewCluster(pipeline.World, backends...)
+		defer cluster.Close()
 		backend = core.NewShardedLiveDetectorOver(pipeline.Collection, cluster, online)
 		sink = clusterSink{cluster}
 		collect = func() []microblog.Tweet {
@@ -117,13 +196,10 @@ func main() {
 				log.Fatal(err)
 			}
 			var all []microblog.Tweet
-			for _, c := range clients {
-				posts, err := c.DumpIngested()
-				if err != nil {
-					log.Fatal(err)
-				}
-				for _, p := range posts {
-					all = append(all, microblog.MakeTweet(p))
+			for i := 0; i < n; i++ {
+				snap := primaries[i].Snapshot()
+				for gid := primaries[i].Base().NumTweets(); gid < snap.NumTweets(); gid++ {
+					all = append(all, *snap.Tweet(microblog.TweetID(gid)))
 				}
 			}
 			return all
@@ -161,8 +237,8 @@ func main() {
 	}
 	srv := serve.New(backend, serve.DefaultConfig())
 
-	fmt.Printf("live index over %d base tweets, %d domains, %d shard(s); workload of %d distinct queries\n\n",
-		pipeline.Corpus.NumTweets(), pipeline.Collection.NumDomains(), *shards, len(pool))
+	fmt.Printf("live index over %d base tweets, %d domains, %d shard(s) x %d replica(s); workload of %d distinct queries\n\n",
+		pipeline.Corpus.NumTweets(), pipeline.Collection.NumDomains(), *shards, *replicas, len(pool))
 
 	const spot = "49ers"
 	before := srv.Search(spot)

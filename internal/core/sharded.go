@@ -138,6 +138,14 @@ func (d *ShardedLiveDetector) PartialStats() (partialQueries, shardErrors int64)
 	return d.partialQueries.Load(), d.shardErrors.Load()
 }
 
+// Failovers reports the cluster-wide count of reads a replicated
+// shard answered from a non-first-choice replica after a replica
+// failure (shard.Cluster.Failovers) — the healthy counterpart of
+// PartialStats: a failover kept the query whole where a plain shard
+// would have degraded. Zero for clusters with no replicated members.
+// The serving layer mirrors it into serve.Stats.Failovers.
+func (d *ShardedLiveDetector) Failovers() int64 { return d.cluster.Failovers() }
+
 // Expand returns the expansion terms for a query (excluding the query
 // itself).
 func (d *ShardedLiveDetector) Expand(query string) []string {

@@ -1,0 +1,358 @@
+// Package fault is the reusable chaos harness behind the replication
+// and transport test suites: scriptable fault injection at the two
+// seams the system can break on — the connection (Conn/Dialer, the
+// generalization of the ad-hoc tracking/truncating/fragmenting conns
+// the PR 4 flaky tests grew) and the backend call boundary (Backend,
+// which can kill, delay or error any replica at a scripted point).
+// Production code never imports it; it lives outside the test binaries
+// only so the transport, replica and serve suites can share one
+// vocabulary of faults.
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/expertise"
+	"repro/internal/microblog"
+	"repro/internal/shard"
+)
+
+// ErrKilled is the error every operation on a killed Backend (or a
+// dial through a killed Dialer) returns.
+var ErrKilled = errors.New("fault: killed")
+
+// Conn wraps a net.Conn with scriptable stream-level faults: Kill
+// closes it out from under its owner, SetDelay stalls every Read, and
+// TruncateAfter cuts the inbound stream after a byte budget —
+// simulating a peer dying mid-frame. Fragment delivers one byte per
+// syscall in both directions, the adversarial TCP segmentation a
+// framing layer must not notice. Safe for concurrent use.
+type Conn struct {
+	net.Conn
+
+	mu       sync.Mutex
+	readCap  int // remaining inbound bytes; <0 = unlimited
+	fragment bool
+	delay    time.Duration
+}
+
+// WrapConn returns c with no faults armed.
+func WrapConn(c net.Conn) *Conn { return &Conn{Conn: c, readCap: -1} }
+
+// Kill closes the underlying connection; every in-flight and future
+// operation on it fails.
+func (c *Conn) Kill() { c.Conn.Close() }
+
+// SetDelay stalls every subsequent Read by d before touching the
+// underlying connection.
+func (c *Conn) SetDelay(d time.Duration) {
+	c.mu.Lock()
+	c.delay = d
+	c.mu.Unlock()
+}
+
+// TruncateAfter cuts the inbound stream after n more bytes: reads past
+// the budget return io.EOF, as if the peer died mid-frame.
+func (c *Conn) TruncateAfter(n int) {
+	c.mu.Lock()
+	c.readCap = n
+	c.mu.Unlock()
+}
+
+// Fragment makes every subsequent Read and Write deliver one byte per
+// syscall.
+func (c *Conn) Fragment() {
+	c.mu.Lock()
+	c.fragment = true
+	c.mu.Unlock()
+}
+
+// Read implements net.Conn under the armed faults.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	delay, capped, budget, frag := c.delay, c.readCap >= 0, c.readCap, c.fragment
+	c.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if capped {
+		if budget <= 0 {
+			return 0, io.EOF
+		}
+		if len(p) > budget {
+			p = p[:budget]
+		}
+	}
+	if frag && len(p) > 1 {
+		p = p[:1]
+	}
+	n, err := c.Conn.Read(p)
+	if capped {
+		c.mu.Lock()
+		c.readCap -= n
+		c.mu.Unlock()
+	}
+	return n, err
+}
+
+// Write implements net.Conn under the armed faults.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	frag := c.fragment
+	c.mu.Unlock()
+	if !frag {
+		return c.Conn.Write(p)
+	}
+	for i := range p {
+		if _, err := c.Conn.Write(p[i : i+1]); err != nil {
+			return i, err
+		}
+	}
+	return len(p), nil
+}
+
+// Dialer produces fault-wrapped connections for a transport client
+// (plug Dial into transport.ClientConfig.Dial) and remembers every
+// connection it handed out, so a test can kill the live ones out from
+// under the pool, arm faults on future connections, or refuse dials
+// entirely — while counting them. Safe for concurrent use.
+type Dialer struct {
+	mu       sync.Mutex
+	conns    []*Conn
+	dialErr  error
+	truncate int // armed on each new conn; <0 = off
+	fragment bool
+	delay    time.Duration
+
+	dials atomic.Int64
+}
+
+// NewDialer returns a Dialer with no faults armed.
+func NewDialer() *Dialer { return &Dialer{truncate: -1} }
+
+// Dial opens a TCP connection wrapped in the currently armed faults;
+// it has the signature transport.ClientConfig.Dial expects.
+func (d *Dialer) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	d.mu.Lock()
+	dialErr, truncate, fragment, delay := d.dialErr, d.truncate, d.fragment, d.delay
+	d.mu.Unlock()
+	if dialErr != nil {
+		return nil, dialErr
+	}
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	d.dials.Add(1)
+	c := WrapConn(raw)
+	if truncate >= 0 {
+		c.TruncateAfter(truncate)
+	}
+	if fragment {
+		c.Fragment()
+	}
+	if delay > 0 {
+		c.SetDelay(delay)
+	}
+	d.mu.Lock()
+	d.conns = append(d.conns, c)
+	d.mu.Unlock()
+	return c, nil
+}
+
+// Dials returns how many connections were successfully opened.
+func (d *Dialer) Dials() int64 { return d.dials.Load() }
+
+// KillAll closes every connection handed out so far.
+func (d *Dialer) KillAll() {
+	d.mu.Lock()
+	conns := d.conns
+	d.mu.Unlock()
+	for _, c := range conns {
+		c.Kill()
+	}
+}
+
+// TruncateAll cuts the inbound stream of every *live* connection
+// after n more bytes — the peer dying mid-response on the pooled
+// connections a client is holding right now.
+func (d *Dialer) TruncateAll(n int) {
+	d.mu.Lock()
+	conns := d.conns
+	d.mu.Unlock()
+	for _, c := range conns {
+		c.TruncateAfter(n)
+	}
+}
+
+// RefuseDials makes every future Dial fail with ErrKilled (the
+// server's address black-holed); AllowDials undoes it.
+func (d *Dialer) RefuseDials() {
+	d.mu.Lock()
+	d.dialErr = ErrKilled
+	d.mu.Unlock()
+}
+
+// AllowDials re-enables dialing after RefuseDials.
+func (d *Dialer) AllowDials() {
+	d.mu.Lock()
+	d.dialErr = nil
+	d.mu.Unlock()
+}
+
+// TruncateNext arms every future connection to cut its inbound stream
+// after n bytes (pass a negative n to disarm).
+func (d *Dialer) TruncateNext(n int) {
+	d.mu.Lock()
+	d.truncate = n
+	d.mu.Unlock()
+}
+
+// FragmentAll arms every future connection to deliver one byte per
+// syscall in both directions.
+func (d *Dialer) FragmentAll() {
+	d.mu.Lock()
+	d.fragment = true
+	d.mu.Unlock()
+}
+
+// Backend wraps a shard.Backend with scriptable call-boundary faults:
+// Kill fails every future call while calls already past the gate run
+// to completion against the healthy inner backend (drain semantics —
+// a view handed out before the kill still answers its stats fetch),
+// KillAfterCalls arms the kill at an exact future call count for
+// deterministic mid-load injection, SetDelay stalls every call, and
+// Heal clears the kill. Per-op counters record what reached the gate,
+// so a test can pin not just results but traffic — e.g. that a read
+// failover never re-sent a write. Safe for concurrent use.
+type Backend struct {
+	inner shard.Backend
+
+	killed    atomic.Bool
+	killAfter atomic.Int64 // fail calls once Calls() passes this; <=0 = disarmed
+	delay     atomic.Int64 // per-call stall in nanoseconds
+
+	calls                        atomic.Int64 // every call that reached the gate
+	searches, ingests            atomic.Int64 // calls that passed the gate
+	epochs, quiesces             atomic.Int64
+	searchesKilled, ingestKilled atomic.Int64 // calls refused by the gate
+}
+
+// Backend must be able to stand in for any replica.
+var _ shard.Backend = (*Backend)(nil)
+
+// Wrap returns b behind a fault gate with no faults armed.
+func Wrap(b shard.Backend) *Backend { return &Backend{inner: b} }
+
+// Inner returns the wrapped backend.
+func (f *Backend) Inner() shard.Backend { return f.inner }
+
+// Kill makes every future call fail with ErrKilled; calls already in
+// flight (and views already handed out) complete against the inner
+// backend.
+func (f *Backend) Kill() { f.killed.Store(true) }
+
+// Heal clears Kill and any armed KillAfterCalls.
+func (f *Backend) Heal() {
+	f.killed.Store(false)
+	f.killAfter.Store(0)
+}
+
+// KillAfterCalls arms the gate to start failing once n more calls
+// have been admitted — the scripted point for deterministic mid-load
+// faults.
+func (f *Backend) KillAfterCalls(n int) {
+	f.killAfter.Store(f.calls.Load() + int64(n))
+}
+
+// SetDelay stalls every subsequent call by d before it reaches the
+// inner backend.
+func (f *Backend) SetDelay(d time.Duration) { f.delay.Store(int64(d)) }
+
+// Calls returns how many calls reached the gate (admitted or not).
+func (f *Backend) Calls() int64 { return f.calls.Load() }
+
+// Searches returns how many Search calls passed the gate.
+func (f *Backend) Searches() int64 { return f.searches.Load() }
+
+// SearchesKilled returns how many Search calls the gate refused.
+func (f *Backend) SearchesKilled() int64 { return f.searchesKilled.Load() }
+
+// Ingests returns how many Ingest/IngestBatch calls passed the gate.
+func (f *Backend) Ingests() int64 { return f.ingests.Load() }
+
+// IngestsKilled returns how many Ingest/IngestBatch calls the gate
+// refused.
+func (f *Backend) IngestsKilled() int64 { return f.ingestKilled.Load() }
+
+// gate admits or refuses one call.
+func (f *Backend) gate() error {
+	n := f.calls.Add(1)
+	if d := f.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	if ka := f.killAfter.Load(); ka > 0 && n > ka {
+		f.killed.Store(true)
+	}
+	if f.killed.Load() {
+		return ErrKilled
+	}
+	return nil
+}
+
+// Search implements shard.Backend through the fault gate.
+func (f *Backend) Search(terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, shard.View, error) {
+	if err := f.gate(); err != nil {
+		f.searchesKilled.Add(1)
+		return raw[:0], 0, nil, err
+	}
+	f.searches.Add(1)
+	return f.inner.Search(terms, extended, raw)
+}
+
+// Ingest implements shard.Backend through the fault gate.
+func (f *Backend) Ingest(p microblog.Post) (microblog.TweetID, error) {
+	if err := f.gate(); err != nil {
+		f.ingestKilled.Add(1)
+		return 0, err
+	}
+	f.ingests.Add(1)
+	return f.inner.Ingest(p)
+}
+
+// IngestBatch implements shard.Backend through the fault gate.
+func (f *Backend) IngestBatch(posts []microblog.Post) error {
+	if err := f.gate(); err != nil {
+		f.ingestKilled.Add(1)
+		return err
+	}
+	f.ingests.Add(1)
+	return f.inner.IngestBatch(posts)
+}
+
+// Epoch implements shard.Backend through the fault gate.
+func (f *Backend) Epoch() (uint64, error) {
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	f.epochs.Add(1)
+	return f.inner.Epoch()
+}
+
+// Quiesce implements shard.Backend through the fault gate.
+func (f *Backend) Quiesce() error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	f.quiesces.Add(1)
+	return f.inner.Quiesce()
+}
+
+// Close implements shard.Backend; it always reaches the inner backend
+// (a test tearing down must not leak compactors behind a kill).
+func (f *Backend) Close() error { return f.inner.Close() }

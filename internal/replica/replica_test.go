@@ -1,0 +1,680 @@
+// The replication test suite: the equivalence spine extended one more
+// step (a quiesced replicated cluster must rank bit-identically to the
+// in-process Router and a cold rebuild — including after a replica is
+// killed mid-load), plus the chaos-style contracts: reads fail over
+// and never duplicate writes, stale followers are rejected from the
+// read set, and a dead replica costs one probe per backoff window.
+package replica_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/expertise"
+	"repro/internal/fault"
+	"repro/internal/ingest"
+	"repro/internal/microblog"
+	"repro/internal/replica"
+	"repro/internal/shard"
+	"repro/internal/transport"
+)
+
+var (
+	pipeOnce sync.Once
+	pipe     *core.Pipeline
+	pipeSets []eval.QuerySet
+	pipeErr  error
+)
+
+func testPipeline(t testing.TB) (*core.Pipeline, []eval.QuerySet) {
+	t.Helper()
+	pipeOnce.Do(func() {
+		pipe, pipeErr = core.BuildPipeline(core.TinyPipelineConfig())
+		if pipeErr == nil {
+			pipeSets = eval.BuildQuerySets(pipe.World, pipe.Log,
+				eval.SetSizes{PerCategory: 25, Top: 60})
+		}
+	})
+	if pipeErr != nil {
+		t.Fatal(pipeErr)
+	}
+	return pipe, pipeSets
+}
+
+func streamPosts(p *core.Pipeline, seed uint64, n int) []microblog.Post {
+	s := microblog.NewPostStream(p.World, microblog.DefaultStreamConfig(seed))
+	posts := make([]microblog.Post, n)
+	for i := range posts {
+		posts[i] = s.Next()
+	}
+	return posts
+}
+
+func expertsIdentical(t *testing.T, label, query string, got, want []expertise.Expert) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s %q: %d results, reference has %d", label, query, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s %q rank %d:\n  got  %+v\n  want %+v", label, query, i, got[i], want[i])
+		}
+	}
+}
+
+// replCluster is one replicated deployment under test: n shards × r
+// replicas, with handles into every layer the assertions need.
+type replCluster struct {
+	cluster   *shard.Cluster
+	sets      []*replica.Set
+	primaries []*ingest.Index
+	// followers[i][j] is shard i's (j+1)-th replica's index — the
+	// content handle behind local followers and remote ones alike.
+	followers [][]*ingest.Index
+	// servers[i][j] serves followers[i][j] when the follower is
+	// remote; nil rows for local followers.
+	servers [][]*transport.ShardServer
+	// faults[i] wraps shard i's first follower when fault-wrapping was
+	// requested; nil otherwise.
+	faults []*fault.Backend
+}
+
+// ingested walks every primary's snapshot and returns the posts
+// ingested beyond the base — the cold-rebuild feed. Writes land on
+// every replica, but the primary is the durability contract, so the
+// rebuild reads it.
+func (rc *replCluster) ingested() []microblog.Tweet {
+	var all []microblog.Tweet
+	for _, idx := range rc.primaries {
+		snap := idx.Snapshot()
+		for gid := idx.Base().NumTweets(); gid < snap.NumTweets(); gid++ {
+			all = append(all, *snap.Tweet(microblog.TweetID(gid)))
+		}
+	}
+	return all
+}
+
+// newReplicated builds an n-shard × r-replica cluster. Each shard's
+// primary is a local index over its base partition; followers are
+// local too, or served over loopback TCP when remoteFollowers is set
+// (primary local, followers remote — the deployment shape where the
+// coordinator co-locates one replica and fans reads to the rest).
+// When wrapFollowers is set, each shard's first follower sits behind
+// a fault.Backend gate.
+func newReplicated(t testing.TB, p *core.Pipeline, n, r int, icfg ingest.Config,
+	cfg replica.Config, remoteFollowers, wrapFollowers bool) *replCluster {
+	t.Helper()
+	rc := &replCluster{
+		sets:      make([]*replica.Set, n),
+		primaries: make([]*ingest.Index, n),
+		followers: make([][]*ingest.Index, n),
+		servers:   make([][]*transport.ShardServer, n),
+		faults:    make([]*fault.Backend, n),
+	}
+	backends := make([]shard.Backend, n)
+	for i := 0; i < n; i++ {
+		part := shard.Partition(p.Corpus, i, n)
+		primary := ingest.New(part, icfg)
+		rc.primaries[i] = primary
+		members := []shard.Backend{shard.NewLocal(primary)}
+		for j := 1; j < r; j++ {
+			fidx := ingest.New(part, icfg)
+			rc.followers[i] = append(rc.followers[i], fidx)
+			var member shard.Backend
+			if remoteFollowers {
+				srv, err := transport.Listen("127.0.0.1:0", fidx, transport.DefaultServerConfig(i, n))
+				if err != nil {
+					t.Fatal(err)
+				}
+				rc.servers[i] = append(rc.servers[i], srv)
+				t.Cleanup(func() { srv.Close() })
+				reps, err := transport.DialReplicas([]string{srv.Addr().String()},
+					i, n, len(p.World.Users), part.NumTweets(),
+					transport.ClientConfig{Timeout: 10 * time.Second})
+				if err != nil {
+					t.Fatal(err)
+				}
+				member = reps[0]
+			} else {
+				member = shard.NewLocal(fidx)
+			}
+			if wrapFollowers && j == 1 {
+				f := fault.Wrap(member)
+				rc.faults[i] = f
+				member = f
+			}
+			members = append(members, member)
+		}
+		set, err := replica.NewSet(members, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.sets[i] = set
+		backends[i] = set
+	}
+	rc.cluster = shard.NewCluster(p.World, backends...)
+	t.Cleanup(func() { rc.cluster.Close() })
+	return rc
+}
+
+// TestReplicatedQuiescedEquivalence is the acceptance bar of the
+// replication layer: for (N,R) ∈ {(1,2),(2,2),(2,3)} — followers
+// behind loopback TCP — after replicating the same posts and
+// quiescing, the replicated scatter-gather detector must return
+// bit-identical ranked experts and matched-tweet counts to the
+// in-process Router and to a cold detector rebuilt over the same
+// posts, for every query of every evaluation query set, on both the
+// e# and the baseline path, with zero partial results; and the read
+// fan-out must actually spread load across the replicas.
+func TestReplicatedQuiescedEquivalence(t *testing.T) {
+	p, sets := testPipeline(t)
+	posts := streamPosts(p, 81, 400)
+	icfg := ingest.Config{SealThreshold: 32, CompactFanIn: 3}
+
+	cold := core.NewDetector(p.Collection, p.Corpus.ExtendedWith(posts), p.Cfg.Online)
+
+	for _, tc := range []struct{ n, r int }{{1, 2}, {2, 2}, {2, 3}} {
+		// In-process single-copy reference over the identical partitioning.
+		router := shard.New(p.Corpus, shard.Config{Shards: tc.n, Ingest: icfg})
+		router.IngestBatch(posts)
+		router.Quiesce()
+		local := core.NewShardedLiveDetector(p.Collection, router, p.Cfg.Online)
+
+		rc := newReplicated(t, p, tc.n, tc.r, icfg, replica.DefaultConfig(), true, false)
+		if err := rc.cluster.IngestBatch(posts); err != nil {
+			t.Fatal(err)
+		}
+		if err := rc.cluster.Quiesce(); err != nil {
+			t.Fatal(err)
+		}
+		repl := core.NewShardedLiveDetectorOver(p.Collection, rc.cluster, p.Cfg.Online)
+
+		total := 0
+		for _, set := range sets {
+			for _, q := range set.Queries {
+				total++
+				gotES, gotTrace := repl.Search(q)
+				wantES, wantTrace := local.Search(q)
+				coldES, coldTrace := cold.Search(q)
+				expertsIdentical(t, "replicated-vs-local", q, gotES, wantES)
+				expertsIdentical(t, "replicated-vs-cold", q, gotES, coldES)
+				if gotTrace.MatchedTweets != wantTrace.MatchedTweets ||
+					gotTrace.MatchedTweets != coldTrace.MatchedTweets {
+					t.Fatalf("N=%d R=%d %q: matched %d tweets replicated, local %d, cold %d",
+						tc.n, tc.r, q, gotTrace.MatchedTweets, wantTrace.MatchedTweets, coldTrace.MatchedTweets)
+				}
+				expertsIdentical(t, "replicated-baseline", q,
+					repl.SearchBaseline(q), local.SearchBaseline(q))
+			}
+		}
+		if total == 0 {
+			t.Fatal("no queries in eval sets")
+		}
+		if pq, se := repl.PartialStats(); pq != 0 || se != 0 {
+			t.Fatalf("N=%d R=%d: healthy replicated cluster reported partial queries %d, shard errors %d",
+				tc.n, tc.r, pq, se)
+		}
+		if fo := repl.Failovers(); fo != 0 {
+			t.Fatalf("N=%d R=%d: healthy replicated cluster reported %d failovers", tc.n, tc.r, fo)
+		}
+		for si, set := range rc.sets {
+			st := set.Stats()
+			if st.Epoch != uint64(len(posts)) && tc.n == 1 {
+				t.Fatalf("set %d logical epoch %d, want %d", si, st.Epoch, len(posts))
+			}
+			for j := 0; j < tc.r; j++ {
+				if st.Applied[j] != st.Epoch {
+					t.Fatalf("N=%d R=%d shard %d replica %d applied %d of %d writes",
+						tc.n, tc.r, si, j, st.Applied[j], st.Epoch)
+				}
+				if st.Reads[j] == 0 {
+					t.Fatalf("N=%d R=%d shard %d replica %d served no reads — the fan-out is not spreading",
+						tc.n, tc.r, si, j)
+				}
+			}
+		}
+		router.Close()
+	}
+}
+
+// TestReplicatedEquivalenceAfterFollowerKill is the fault half of the
+// acceptance bar: one follower per shard is killed mid-load (its
+// server closes under the client), the remaining writes replicate to
+// the survivors, reads fail over — zero partial results — and the
+// quiesced cluster still ranks bit-identically to a cold rebuild over
+// every evaluation query.
+func TestReplicatedEquivalenceAfterFollowerKill(t *testing.T) {
+	p, sets := testPipeline(t)
+	posts := streamPosts(p, 83, 300)
+	icfg := ingest.Config{SealThreshold: 32, CompactFanIn: 3}
+	const n, r = 2, 2
+
+	rc := newReplicated(t, p, n, r, icfg, replica.DefaultConfig(), true, false)
+	if err := rc.cluster.IngestBatch(posts[:150]); err != nil {
+		t.Fatal(err)
+	}
+	// Kill every shard's follower server mid-load: in-flight state dies
+	// with the TCP connections, and every later replication write to it
+	// must fail (and must not be retried).
+	for i := 0; i < n; i++ {
+		for _, srv := range rc.servers[i] {
+			srv.Close()
+		}
+	}
+	if err := rc.cluster.IngestBatch(posts[150:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.cluster.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	repl := core.NewShardedLiveDetectorOver(p.Collection, rc.cluster, p.Cfg.Online)
+	cold := core.NewDetector(p.Collection, p.Corpus.ExtendedWith(posts), p.Cfg.Online)
+
+	for _, set := range sets {
+		for _, q := range set.Queries {
+			got, gotTrace := repl.Search(q)
+			want, wantTrace := cold.Search(q)
+			expertsIdentical(t, "killed-follower-vs-cold", q, got, want)
+			if gotTrace.MatchedTweets != wantTrace.MatchedTweets {
+				t.Fatalf("%q: matched %d tweets with a killed follower, cold %d",
+					q, gotTrace.MatchedTweets, wantTrace.MatchedTweets)
+			}
+		}
+	}
+	// Failover, not degradation: every query answered whole.
+	if pq, se := repl.PartialStats(); pq != 0 || se != 0 {
+		t.Fatalf("killed follower degraded queries: partial %d, shard errors %d", pq, se)
+	}
+	for si, set := range rc.sets {
+		st := set.Stats()
+		if !st.Stale[1] {
+			t.Fatalf("shard %d follower missed writes but is not flagged stale: %+v", si, st)
+		}
+		if st.Applied[0] != st.Epoch {
+			t.Fatalf("shard %d primary applied %d of %d writes", si, st.Applied[0], st.Epoch)
+		}
+	}
+}
+
+// TestFailoverReadsNeverDuplicateWrites pins two halves of the write
+// contract around a read failover: (a) reads failing over to the
+// primary never re-send — or send at all — any write to the failed
+// follower, and (b) a healed follower that missed no writes is
+// re-admitted to the read rotation by one successful probe after its
+// backoff window (the decaying-backoff recovery path).
+func TestFailoverReadsNeverDuplicateWrites(t *testing.T) {
+	p, _ := testPipeline(t)
+	icfg := ingest.Config{SealThreshold: 32, CompactFanIn: 3}
+	cfg := replica.Config{Backoff: shard.Backoff{Initial: 50 * time.Millisecond, Max: 50 * time.Millisecond}}
+	rc := newReplicated(t, p, 1, 2, icfg, cfg, false, true)
+	set, f := rc.sets[0], rc.faults[0]
+
+	posts := streamPosts(p, 91, 60)
+	for _, post := range posts {
+		if _, err := rc.cluster.Ingest(post); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writesBefore := f.Ingests()
+	if writesBefore == 0 {
+		t.Fatal("follower received no replicated writes while healthy")
+	}
+
+	// Reference results over the identical content, computed before the
+	// kill so every failover read can be checked against them.
+	det := core.NewShardedLiveDetectorOver(p.Collection, rc.cluster, p.Cfg.Online)
+	if err := rc.cluster.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{"49ers", "nfl", "diabetes", "coffee"}
+	want := make(map[string][]expertise.Expert, len(queries))
+	for _, q := range queries {
+		want[q], _ = det.Search(q)
+	}
+
+	f.Kill()
+	for round := 0; round < 8; round++ {
+		for _, q := range queries {
+			got, _ := det.Search(q)
+			expertsIdentical(t, "failover-read", q, got, want[q])
+		}
+	}
+	if pq, se := det.PartialStats(); pq != 0 || se != 0 {
+		t.Fatalf("reads degraded instead of failing over: partial %d, errors %d", pq, se)
+	}
+	if fo := det.Failovers(); fo == 0 {
+		t.Fatal("no failover was counted although the follower is dead")
+	}
+	// The load-bearing pin: the read failovers sent the dead follower
+	// zero writes — the write path and the read failover machinery are
+	// disjoint, so a failover can never duplicate (or originate) a post.
+	if f.Ingests() != writesBefore || f.IngestsKilled() != 0 {
+		t.Fatalf("read failovers touched the write path: %d→%d writes, %d refused",
+			writesBefore, f.Ingests(), f.IngestsKilled())
+	}
+	// And the dead follower costs at most one probe per backoff window:
+	// 32 reads above, two windows at most while killed.
+	if probes := f.SearchesKilled(); probes > 3 {
+		t.Fatalf("dead follower was probed %d times during backoff — reads are paying per-request again", probes)
+	}
+
+	// Heal: the follower missed no writes (none happened while it was
+	// down), so one successful probe after the window re-admits it.
+	f.Heal()
+	time.Sleep(60 * time.Millisecond)
+	readsBefore := set.Stats().Reads[1]
+	for round := 0; round < 6; round++ {
+		for _, q := range queries {
+			got, _ := det.Search(q)
+			expertsIdentical(t, "healed-read", q, got, want[q])
+		}
+	}
+	if readsAfter := set.Stats().Reads[1]; readsAfter <= readsBefore {
+		t.Fatalf("healed follower served no reads (%d before, %d after) — backoff never decayed",
+			readsBefore, readsAfter)
+	}
+	if st := set.Stats(); st.Stale[1] {
+		t.Fatalf("follower with no missed writes is flagged stale: %+v", st)
+	}
+}
+
+// TestStaleFollowerRejected pins epoch-gap rejection: a follower that
+// missed one write while down is ejected from the read set even after
+// its transport heals — reads route to the primary, never to the gap.
+func TestStaleFollowerRejected(t *testing.T) {
+	p, _ := testPipeline(t)
+	icfg := ingest.Config{SealThreshold: 32, CompactFanIn: 3}
+	cfg := replica.Config{Backoff: shard.Backoff{Initial: 10 * time.Millisecond, Max: 10 * time.Millisecond}}
+	rc := newReplicated(t, p, 1, 2, icfg, cfg, false, true)
+	set, f := rc.sets[0], rc.faults[0]
+
+	for _, post := range streamPosts(p, 95, 20) {
+		if _, err := rc.cluster.Ingest(post); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Kill()
+	missed := streamPosts(p, 96, 1)[0]
+	if _, err := rc.cluster.Ingest(missed); err != nil {
+		t.Fatal(err)
+	}
+	if st := set.Stats(); !st.Stale[1] || st.Applied[1] != st.Epoch-1 {
+		t.Fatalf("follower not ejected after missing a write: %+v", st)
+	}
+	// The transport heals and every backoff window expires — but the
+	// gap is forever, so reads must keep routing to the primary.
+	f.Heal()
+	time.Sleep(20 * time.Millisecond)
+
+	det := core.NewShardedLiveDetectorOver(p.Collection, rc.cluster, p.Cfg.Online)
+	rc.cluster.Quiesce()
+	cold := core.NewDetector(p.Collection,
+		p.Corpus.ExtendedWith(append(streamPosts(p, 95, 20), missed)), p.Cfg.Online)
+	searchesBefore := f.Searches()
+	for i := 0; i < 10; i++ {
+		got, _ := det.Search("49ers")
+		want, _ := cold.Search("49ers")
+		expertsIdentical(t, "stale-rejected", "49ers", got, want)
+	}
+	if f.Searches() != searchesBefore {
+		t.Fatalf("stale follower served %d reads — the epoch gap was ignored",
+			f.Searches()-searchesBefore)
+	}
+	if st := set.Stats(); st.Reads[1] != 0 {
+		t.Fatalf("stale follower counted %d served reads", st.Reads[1])
+	}
+	// New writes skip the stale follower too: its content must stay a
+	// clean prefix rather than grow holes.
+	ingestsBefore := f.Ingests() + f.IngestsKilled()
+	for _, post := range streamPosts(p, 97, 5) {
+		if _, err := rc.cluster.Ingest(post); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.Ingests() + f.IngestsKilled(); got != ingestsBefore {
+		t.Fatalf("stale follower was sent %d more writes — its content now has holes", got-ingestsBefore)
+	}
+}
+
+// TestReplicationWriteNotRetriedOnTruncation pins exactly-once at the
+// wire: a replication write whose *response* is cut mid-frame (the
+// follower applied the post; the client cannot know) must surface as
+// a failed replication — the follower is ejected — and must never be
+// re-sent, because a blind retry would double the post and skew every
+// counter the bit-identical bar is stated over.
+func TestReplicationWriteNotRetriedOnTruncation(t *testing.T) {
+	p, _ := testPipeline(t)
+	icfg := ingest.Config{SealThreshold: 32, CompactFanIn: 3}
+	part := shard.Partition(p.Corpus, 0, 1)
+
+	primary := ingest.New(part, icfg)
+	fidx := ingest.New(part, icfg)
+	srv, err := transport.Listen("127.0.0.1:0", fidx, transport.DefaultServerConfig(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	d := fault.NewDialer()
+	ccfg := transport.ClientConfig{Timeout: 2 * time.Second, Dial: d.Dial}
+	follower := transport.NewRemoteShard(srv.Addr().String(), ccfg)
+	if err := follower.Handshake(0, 1, len(p.World.Users), part.NumTweets()); err != nil {
+		t.Fatal(err)
+	}
+	set, err := replica.NewSet([]shard.Backend{shard.NewLocal(primary), follower}, replica.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { set.Close() })
+
+	warm := streamPosts(p, 101, 10)
+	for _, post := range warm {
+		if _, err := set.Ingest(post); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseCount := part.NumTweets()
+	fidx.Quiesce()
+	if got := fidx.Snapshot().NumTweets(); got != baseCount+len(warm) {
+		t.Fatalf("follower holds %d tweets before the fault, want %d", got, baseCount+len(warm))
+	}
+
+	// Cut the response stream of every pooled connection: the next
+	// replication request reaches the server (writes are unaffected),
+	// the server applies it, and the client's read of the response hits
+	// EOF.
+	d.TruncateAll(0)
+	victim := streamPosts(p, 102, 1)[0]
+	if _, err := set.Ingest(victim); err != nil {
+		t.Fatalf("a follower fault must not fail the write (primary applied it): %v", err)
+	}
+	st := set.Stats()
+	if !st.Stale[1] {
+		t.Fatalf("follower not ejected after a lost replication response: %+v", st)
+	}
+	// Exactly once: the follower applied the victim post a single time —
+	// a silent retry would have doubled it. The client saw EOF before
+	// the server goroutine finished applying, so poll briefly for the
+	// count to settle (and then hold still).
+	want := baseCount + len(warm) + 1
+	deadline := time.Now().Add(2 * time.Second)
+	for fidx.Snapshot().NumTweets() < want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	fidx.Quiesce()
+	if got := fidx.Snapshot().NumTweets(); got != want {
+		t.Fatalf("follower holds %d tweets after the truncated write, want %d (applied exactly once)", got, want)
+	}
+	primary.Quiesce()
+	if got, want := primary.Snapshot().NumTweets(), baseCount+len(warm)+1; got != want {
+		t.Fatalf("primary holds %d tweets, want %d", got, want)
+	}
+}
+
+// TestAmbiguousPrimaryWriteFailsSafe pins the primary-side half of
+// the divergence story: a primary write whose *response* is lost is
+// ambiguous — the primary may hold the post — so the Set must presume
+// it does: the logical epoch advances (cache entries from before the
+// suspect write invalidate), every follower is ejected, and once the
+// primary's backoff lapses, reads serve exactly the primary's content
+// — which does include the post — bit-identical to a cold rebuild.
+func TestAmbiguousPrimaryWriteFailsSafe(t *testing.T) {
+	p, _ := testPipeline(t)
+	icfg := ingest.Config{SealThreshold: 32, CompactFanIn: 3}
+	part := shard.Partition(p.Corpus, 0, 1)
+
+	pidx := ingest.New(part, icfg)
+	srv, err := transport.Listen("127.0.0.1:0", pidx, transport.DefaultServerConfig(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	d := fault.NewDialer()
+	primary := transport.NewRemoteShard(srv.Addr().String(),
+		transport.ClientConfig{Timeout: 2 * time.Second, Dial: d.Dial})
+	if err := primary.Handshake(0, 1, len(p.World.Users), part.NumTweets()); err != nil {
+		t.Fatal(err)
+	}
+	fidx := ingest.New(part, icfg)
+	set, err := replica.NewSet([]shard.Backend{primary, shard.NewLocal(fidx)},
+		replica.Config{Backoff: shard.Backoff{Initial: 20 * time.Millisecond, Max: 20 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { set.Close() })
+
+	warm := streamPosts(p, 113, 10)
+	for _, post := range warm {
+		if _, err := set.Ingest(post); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The suspect write: request reaches the server, the response dies.
+	d.TruncateAll(0)
+	victim := streamPosts(p, 114, 1)[0]
+	if _, err := set.Ingest(victim); err == nil {
+		t.Fatal("write with a lost response reported success")
+	}
+	st := set.Stats()
+	if st.Epoch != uint64(len(warm)+1) {
+		t.Fatalf("suspect write did not advance the logical epoch: %+v", st)
+	}
+	if st.Applied[0] != st.Epoch || !st.Stale[1] {
+		t.Fatalf("suspect write must presume the primary applied it and eject the follower: %+v", st)
+	}
+
+	// The primary did apply it; once its backoff lapses, reads serve
+	// the primary's post-write content, bit-identical to a cold rebuild
+	// that includes the victim.
+	wantTweets := part.NumTweets() + len(warm) + 1
+	deadline := time.Now().Add(2 * time.Second)
+	for pidx.Snapshot().NumTweets() < wantTweets && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := pidx.Snapshot().NumTweets(); got != wantTweets {
+		t.Fatalf("primary holds %d tweets, want %d", got, wantTweets)
+	}
+	time.Sleep(30 * time.Millisecond) // let the primary's backoff window lapse
+	cluster := shard.NewCluster(p.World, set)
+	det := core.NewShardedLiveDetectorOver(p.Collection, cluster, p.Cfg.Online)
+	if err := set.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	cold := core.NewDetector(p.Collection,
+		p.Corpus.ExtendedWith(append(warm, victim)), p.Cfg.Online)
+	followerReads := set.Stats().Reads[1]
+	for i := 0; i < 6; i++ {
+		got, _ := det.Search("49ers")
+		want, _ := cold.Search("49ers")
+		expertsIdentical(t, "suspect-primary", "49ers", got, want)
+	}
+	if pq, se := det.PartialStats(); pq != 0 || se != 0 {
+		t.Fatalf("reads degraded: partial %d, errors %d", pq, se)
+	}
+	if got := set.Stats().Reads[1]; got != followerReads {
+		t.Fatalf("ejected follower served %d reads after a suspect primary write", got-followerReads)
+	}
+}
+
+// TestSetBasics covers the plain-backend face of a Set: construction
+// rules, single-replica passthrough, the logical epoch counting
+// writes, and batch splitting.
+func TestSetBasics(t *testing.T) {
+	p, _ := testPipeline(t)
+	if _, err := replica.NewSet(nil, replica.DefaultConfig()); err == nil {
+		t.Fatal("empty set constructed")
+	}
+	icfg := ingest.Config{SealThreshold: 32, CompactFanIn: 3}
+	idx := ingest.New(shard.Partition(p.Corpus, 0, 1), icfg)
+	set, err := replica.NewSet([]shard.Backend{shard.NewLocal(idx)}, replica.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	if set.NumReplicas() != 1 || set.Primary() != set.Replica(0) {
+		t.Fatal("single-replica set wiring broken")
+	}
+	if !set.EpochIsLocal() {
+		t.Fatal("a set's epoch must be a local read")
+	}
+	if e, err := set.Epoch(); err != nil || e != 0 {
+		t.Fatalf("fresh set epoch %d err %v", e, err)
+	}
+	posts := streamPosts(p, 104, 7)
+	if _, err := set.Ingest(posts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.IngestBatch(posts[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.IngestBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := set.Epoch(); e != uint64(len(posts)) {
+		t.Fatalf("logical epoch %d after %d writes", e, len(posts))
+	}
+	if err := set.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	rows, matched, v, err := set.Search([]string{"49ers"}, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched == 0 || len(rows) == 0 {
+		t.Fatal("single-replica search returned nothing for a warm query")
+	}
+	v.Release()
+	if st := set.Stats(); st.Failovers != 0 || st.Reads[0] != 1 || st.Healthy[0] != true {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+	if !set.Health(0).Healthy() {
+		t.Fatal("healthy primary's health handle disagrees")
+	}
+	// All replicas dead: the shard fails whole, with ErrNoReplica once
+	// backoff silences the probes.
+	f := fault.Wrap(shard.NewLocal(ingest.New(shard.Partition(p.Corpus, 0, 1), icfg)))
+	deadSet, err := replica.NewSet([]shard.Backend{f},
+		replica.Config{Backoff: shard.Backoff{Initial: time.Hour, Max: time.Hour}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deadSet.Close()
+	f.Kill()
+	if _, _, _, err := deadSet.Search([]string{"nfl"}, false, nil); err == nil {
+		t.Fatal("search on a dead set succeeded")
+	}
+	if _, _, _, err := deadSet.Search([]string{"nfl"}, false, nil); err != replica.ErrNoReplica {
+		t.Fatalf("second search want ErrNoReplica (backoff silences the probe), got %v", err)
+	}
+	if _, err := deadSet.Ingest(posts[0]); err == nil {
+		t.Fatal("write with a dead primary succeeded")
+	}
+	if err := deadSet.IngestBatch(posts); err == nil {
+		t.Fatal("batch write with a dead primary succeeded")
+	}
+}

@@ -89,6 +89,18 @@ type PartialReporter interface {
 	PartialStats() (partialQueries, shardErrors int64)
 }
 
+// FailoverReporter is a Backend whose shards can answer a read from
+// more than one replica (core.ShardedLiveDetector over a cluster with
+// replica.Set members). A Server detects the interface at
+// construction and mirrors the counter through Stats — the healthy
+// counterpart of PartialReporter: a failover kept the query whole
+// where a plain shard would have degraded to partial results.
+type FailoverReporter interface {
+	// Failovers reports reads answered by a non-first-choice replica
+	// after at least one replica failed.
+	Failovers() int64
+}
+
 // Config tunes a Server.
 type Config struct {
 	// CacheSize is the maximum number of cached query results across
@@ -133,6 +145,12 @@ type Stats struct {
 	// least one shard missing, and the per-shard failures behind them.
 	// Zero for backends that cannot degrade.
 	PartialResults, ShardErrors int64
+	// Failovers mirrors the backend's replicated-read counter
+	// (FailoverReporter): reads a replicated shard answered from a
+	// non-first-choice replica after a replica failure — degradation
+	// *avoided*, where PartialResults counts degradation suffered.
+	// Zero for backends without replicated shards.
+	Failovers int64
 }
 
 // cacheKey distinguishes the two endpoints for one normalized query.
@@ -168,9 +186,10 @@ type Server struct {
 	// vecPool recycles the per-request sample buffers so the hot path
 	// stays allocation-free once warm. partial is non-nil when the
 	// backend reports fail-fast degradation counters.
-	vec     VectorBackend
-	vecPool sync.Pool // of *[]uint64
-	partial PartialReporter
+	vec      VectorBackend
+	vecPool  sync.Pool // of *[]uint64
+	partial  PartialReporter
+	failover FailoverReporter
 
 	queries, hits, misses    atomic.Int64
 	coalesced, invalidations atomic.Int64
@@ -195,6 +214,9 @@ func New(b Backend, cfg Config) *Server {
 	}
 	if pr, ok := b.(PartialReporter); ok {
 		s.partial = pr
+	}
+	if fr, ok := b.(FailoverReporter); ok {
+		s.failover = fr
 	}
 	if cfg.CacheSize > 0 {
 		s.order = list.New()
@@ -407,6 +429,9 @@ func (s *Server) Stats() Stats {
 	}
 	if s.partial != nil {
 		st.PartialResults, st.ShardErrors = s.partial.PartialStats()
+	}
+	if s.failover != nil {
+		st.Failovers = s.failover.Failovers()
 	}
 	if s.slots != nil {
 		s.mu.Lock()

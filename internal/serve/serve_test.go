@@ -722,3 +722,43 @@ func TestRunMixedLoadWriteOnlyAndReadOnly(t *testing.T) {
 		t.Fatalf("server saw %d queries, want 40", res.Stats.Queries)
 	}
 }
+
+// failoverBackend is a scripted backend that also reports replicated
+// read failovers (the FailoverReporter face of a replicated
+// ShardedLiveDetector).
+type failoverBackend struct {
+	scriptedBackend
+	failovers atomic.Int64
+}
+
+func (b *failoverBackend) Failovers() int64 { return b.failovers.Load() }
+
+// TestFailoverStatsMirrored pins the serving-side surface of
+// replication: a backend that reports failovers (FailoverReporter,
+// detected at construction) has the counter mirrored into Stats, so a
+// dashboard reading serving stats sees replica failovers — degradation
+// avoided — next to the PartialResults it would have suffered without
+// replication. A backend without the interface reports zero.
+func TestFailoverStatsMirrored(t *testing.T) {
+	b := &failoverBackend{}
+	s := New(b, DefaultConfig())
+	if st := s.Stats(); st.Failovers != 0 {
+		t.Fatalf("fresh server reports %d failovers", st.Failovers)
+	}
+	s.Search("49ers")
+	b.failovers.Store(7)
+	if st := s.Stats(); st.Failovers != 7 {
+		t.Fatalf("stats mirror %d failovers, backend reports 7", st.Failovers)
+	}
+	// ResetStats zeroes the server's own counters; the backend's
+	// cumulative failover count, like PartialResults, is not reset.
+	s.ResetStats()
+	if st := s.Stats(); st.Failovers != 7 {
+		t.Fatalf("reset clobbered the backend's cumulative failovers: %d", st.Failovers)
+	}
+
+	plain := &scriptedBackend{}
+	if st := New(plain, DefaultConfig()).Stats(); st.Failovers != 0 {
+		t.Fatalf("non-replicated backend reports %d failovers", st.Failovers)
+	}
+}

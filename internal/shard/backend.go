@@ -63,6 +63,28 @@ type Backend interface {
 	Close() error
 }
 
+// EpochLocality is optionally implemented by backends whose Epoch is a
+// process-local read (an atomic load or a counter) rather than an RPC.
+// A Cluster samples such backends in a tight sequential loop with no
+// failure bookkeeping — the probe cannot dial and cannot fail. Local
+// is implicitly epoch-local; replica.Set implements this interface
+// because its logical write epoch is a coordinator-side counter even
+// when every replica behind it is remote.
+type EpochLocality interface {
+	// EpochIsLocal reports whether Epoch reads process-local state.
+	EpochIsLocal() bool
+}
+
+// FailoverReporter is optionally implemented by backends that can
+// serve a read from more than one place (replica.Set): Failovers
+// counts reads answered by a non-first-choice replica after at least
+// one replica failed. Cluster.Failovers sums it across shards and the
+// serving layer mirrors the total into serve.Stats.
+type FailoverReporter interface {
+	// Failovers returns the cumulative failed-over read count.
+	Failovers() int64
+}
+
 // View is one pinned immutable shard state, handed out by
 // Backend.Search so the gather stage's denominator fetch reads the
 // same state candidate extraction did — for a local shard an
@@ -172,6 +194,10 @@ func (l *Local) IngestBatch(posts []microblog.Post) error {
 // Epoch implements Backend.
 func (l *Local) Epoch() (uint64, error) { return l.idx.Epoch(), nil }
 
+// EpochIsLocal implements EpochLocality: a Local's epoch is one
+// atomic load.
+func (l *Local) EpochIsLocal() bool { return true }
+
 // Quiesce implements Backend.
 func (l *Local) Quiesce() error {
 	l.idx.Quiesce()
@@ -216,26 +242,58 @@ func (v *localView) Release() {
 type Cluster struct {
 	w        *world.World
 	backends []Backend
-	// allLocal notes a cluster with no transport behind it: epoch
-	// sampling stays a tight sequential loop (nanoseconds per shard)
-	// instead of paying goroutine fan-out on every cache lookup.
-	allLocal bool
+	// health holds one failure-backoff state machine per backend; epoch
+	// probes consult it so a dead shard costs one dial per backoff
+	// window, not one per request (see Health).
+	health []*Health
+	// localEpochs notes a cluster whose every backend answers Epoch
+	// from process-local state (Local indexes, or replica.Sets whose
+	// logical epoch is a coordinator-side counter): epoch sampling
+	// stays a tight sequential loop (nanoseconds per shard) with no
+	// failure bookkeeping, instead of paying goroutine fan-out and
+	// health checks on every cache lookup.
+	localEpochs bool
+}
+
+// epochIsLocal reports whether b answers Epoch from process-local
+// state — any backend claims it through the EpochLocality interface
+// (Local and replica.Set both do).
+func epochIsLocal(b Backend) bool {
+	el, ok := b.(EpochLocality)
+	return ok && el.EpochIsLocal()
 }
 
 // NewCluster assembles a cluster over an ordered backend list. Backend
 // i must hold exactly the authors ShardOf routes to i — for remote
 // backends that contract is established at deployment (cmd/shardd's
-// -shard/-of flags) and checked by the transport handshake.
+// -shard/-of flags) and checked by the transport handshake. Epoch
+// probing starts with DefaultBackoff failure windows; SetBackoff
+// retunes them.
 func NewCluster(w *world.World, backends ...Backend) *Cluster {
-	c := &Cluster{w: w, backends: backends, allLocal: true}
-	for _, b := range backends {
-		if _, ok := b.(*Local); !ok {
-			c.allLocal = false
-			break
+	c := &Cluster{w: w, backends: backends, localEpochs: true}
+	c.health = make([]*Health, len(backends))
+	for i, b := range backends {
+		c.health[i] = NewHealth(DefaultBackoff())
+		if !epochIsLocal(b) {
+			c.localEpochs = false
 		}
 	}
 	return c
 }
+
+// SetBackoff replaces every backend's epoch-probe failure windows
+// (and resets their backoff state). Call it at wiring time, before
+// the cluster serves traffic.
+func (c *Cluster) SetBackoff(cfg Backoff) {
+	for i := range c.health {
+		c.health[i] = NewHealth(cfg)
+	}
+}
+
+// Health returns shard i's epoch-probe backoff state — exposed so the
+// serving layer and tests can observe which shards are inside failure
+// windows.
+func (c *Cluster) Health(i int) *Health { return c.health[i] }
 
 // World returns the generating world shared by every shard.
 func (c *Cluster) World() *world.World { return c.w }
@@ -274,17 +332,39 @@ func (c *Cluster) IngestBatch(posts []microblog.Post) error {
 	return nil
 }
 
+// probeEpoch samples shard i's epoch through its failure-backoff
+// gate: a backend inside a backoff window is reported EpochUnknown
+// immediately — no dial, no timeout — and at most one caller per
+// window actually probes it. Probe outcomes feed the same gate, so a
+// recovering shard re-admits itself on its first successful probe.
+func (c *Cluster) probeEpoch(i int) (uint64, error) {
+	h := c.health[i]
+	if !h.Allow() {
+		return EpochUnknown, fmt.Errorf("shard %d: %w", i, ErrBackoff)
+	}
+	e, err := c.backends[i].Epoch()
+	if err != nil {
+		h.Fail()
+		return EpochUnknown, fmt.Errorf("shard %d: %w", i, err)
+	}
+	h.Ok()
+	return e, nil
+}
+
 // EpochVector appends each shard's current epoch to dst (capacity
 // reused, contents discarded). A shard whose epoch cannot be observed
 // contributes EpochUnknown — the serving cache bypasses itself for
-// such samples — and the first failure is also returned. For an
-// all-local cluster the sample is a tight loop of atomic loads; with
-// remote members each probe is an RPC, so the probes run concurrently
-// — one slow or timing-out shard costs one round trip, not N stacked
-// ones, and healthy shards never wait behind a dead one.
+// such samples — and the first failure is also returned. For a
+// cluster of epoch-local backends the sample is a tight loop of
+// atomic loads; with remote members each probe is an RPC, so the
+// probes run concurrently — one slow or timing-out shard costs one
+// round trip, not N stacked ones, and healthy shards never wait
+// behind a dead one — and each probe runs through a per-shard failure
+// backoff (Health), so a *dead* shard costs one dial per backoff
+// window rather than one dial timeout per request.
 func (c *Cluster) EpochVector(dst []uint64) ([]uint64, error) {
 	dst = dst[:0]
-	if c.allLocal || len(c.backends) == 1 {
+	if c.localEpochs {
 		var firstErr error
 		for i, b := range c.backends {
 			e, err := b.Epoch()
@@ -298,30 +378,43 @@ func (c *Cluster) EpochVector(dst []uint64) ([]uint64, error) {
 		}
 		return dst, firstErr
 	}
+	if len(c.backends) == 1 {
+		e, err := c.probeEpoch(0)
+		return append(dst, e), err
+	}
 	for range c.backends {
 		dst = append(dst, 0)
 	}
 	errs := make([]error, len(c.backends))
 	var wg sync.WaitGroup
 	wg.Add(len(c.backends))
-	for i, b := range c.backends {
-		go func(i int, b Backend) {
+	for i := range c.backends {
+		go func(i int) {
 			defer wg.Done()
-			e, err := b.Epoch()
-			if err != nil {
-				e = EpochUnknown
-				errs[i] = err
-			}
-			dst[i] = e
-		}(i, b)
+			dst[i], errs[i] = c.probeEpoch(i)
+		}(i)
 	}
 	wg.Wait()
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return dst, fmt.Errorf("shard %d: %w", i, err)
+			return dst, err
 		}
 	}
 	return dst, nil
+}
+
+// Failovers sums the failed-over read counts of every backend that
+// reports one (replica.Set members; plain backends contribute zero) —
+// the cluster-wide count the serving layer surfaces as
+// serve.Stats.Failovers.
+func (c *Cluster) Failovers() int64 {
+	var sum int64
+	for _, b := range c.backends {
+		if fr, ok := b.(FailoverReporter); ok {
+			sum += fr.Failovers()
+		}
+	}
+	return sum
 }
 
 // Epoch returns the sum of the per-shard epochs — the scalar digest of

@@ -3,6 +3,7 @@ package shard_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -508,6 +509,11 @@ func TestClusterEpochVectorWithRemoteMembers(t *testing.T) {
 	}
 	flaky := &flakyEpochBackend{inner: mk(1, 3)}
 	c := shard.NewCluster(p.World, mk(0, 3), flaky, mk(2, 3))
+	// Wide enough that the inside-window assertions below cannot be
+	// straddled by a scheduler or GC pause on a loaded CI machine; the
+	// recovery loop polls rather than sleeping a whole window.
+	const window = 750 * time.Millisecond
+	c.SetBackoff(shard.Backoff{Initial: window, Max: window})
 
 	ev, err := c.EpochVector(nil)
 	if err != nil || len(ev) != 3 {
@@ -533,9 +539,30 @@ func TestClusterEpochVectorWithRemoteMembers(t *testing.T) {
 	digest := c.Epoch() // includes the unknown component; must not panic
 	_ = digest
 
+	// The failed member is now inside its backoff window: healing it
+	// does not readmit it until the window expires and the one granted
+	// probe succeeds — samples in between report EpochUnknown without
+	// touching the backend.
 	flaky.fail = false
 	ev, err = c.EpochVector(ev)
-	if err != nil || ev[1] == shard.EpochUnknown {
-		t.Fatalf("recovery sample: %v, err %v", ev, err)
+	if err == nil || ev[1] != shard.EpochUnknown {
+		t.Fatalf("sample inside the backoff window probed the backend: %v, err %v", ev, err)
+	}
+	if c.Health(1).Healthy() {
+		t.Fatal("failed member reports healthy inside its window")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ev, err = c.EpochVector(ev)
+		if err == nil && ev[1] != shard.EpochUnknown {
+			break // the granted probe readmitted the healed member
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healed member never readmitted: %v, err %v", ev, err)
+		}
+		time.Sleep(window / 3)
+	}
+	if !c.Health(1).Healthy() {
+		t.Fatal("readmitted member still reports unhealthy")
 	}
 }

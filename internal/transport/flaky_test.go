@@ -1,10 +1,12 @@
 // Fault-injection tests: the transport's failure contract under
-// dropped, truncated, delayed and fragmented connections. The wire
-// makes three promises — reconnects happen (once, for stale pooled
-// connections), deadlines fire (no request outlives its timeout), and
-// a short read or write never corrupts a frame (a request either gets
-// the complete response or a clean error, never a garbled one) — and
-// the fail-fast partial-result counts land in serve.Stats.
+// dropped, truncated, delayed and fragmented connections, driven by
+// the shared chaos harness in internal/fault. The wire makes three
+// promises — reconnects happen (once, for stale pooled connections),
+// deadlines fire (no request outlives its timeout), and a short read
+// or write never corrupts a frame (a request either gets the complete
+// response or a clean error, never a garbled one) — the fail-fast
+// partial-result counts land in serve.Stats, and a *dead* shard costs
+// the epoch sampler one dial per backoff window, not one per request.
 package transport_test
 
 import (
@@ -12,11 +14,11 @@ import (
 	"io"
 	"net"
 	"strings"
-	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/ingest"
 	"repro/internal/serve"
 	"repro/internal/shard"
@@ -39,43 +41,17 @@ func startOneServer(t testing.TB, p *core.Pipeline, icfg ingest.Config) string {
 	return srv.Addr().String()
 }
 
-// trackingDialer dials real connections and remembers them so a test
-// can kill the live one out from under the pool.
-type trackingDialer struct {
-	mu    sync.Mutex
-	conns []net.Conn
-}
-
-func (d *trackingDialer) dial(addr string, timeout time.Duration) (net.Conn, error) {
-	c, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, err
-	}
-	d.mu.Lock()
-	d.conns = append(d.conns, c)
-	d.mu.Unlock()
-	return c, nil
-}
-
-func (d *trackingDialer) killAll() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for _, c := range d.conns {
-		c.Close()
-	}
-}
-
 // TestReconnectAfterStaleConn pins the reconnect path: a pooled
 // connection dies between requests (server restart, idle reaping —
-// here an injected close), the next request fails its first round trip,
+// here an injected kill), the next request fails its first round trip,
 // and the client transparently redials exactly once and succeeds.
 func TestReconnectAfterStaleConn(t *testing.T) {
 	p, _ := testPipeline(t)
 	addr := startOneServer(t, p, ingest.DefaultConfig())
 
-	d := &trackingDialer{}
+	d := fault.NewDialer()
 	cfg := testClientConfig()
-	cfg.Dial = d.dial
+	cfg.Dial = d.Dial
 	c := transport.NewRemoteShard(addr, cfg)
 	defer c.Close()
 
@@ -86,7 +62,7 @@ func TestReconnectAfterStaleConn(t *testing.T) {
 		t.Fatalf("first request dialed %d times", got)
 	}
 	// Kill the pooled connection under the client.
-	d.killAll()
+	d.KillAll()
 	epoch, err := c.Epoch()
 	if err != nil {
 		t.Fatalf("request after dropped conn failed instead of reconnecting: %v", err)
@@ -136,29 +112,6 @@ func TestDeadlineFires(t *testing.T) {
 	}
 }
 
-// fragmentConn delivers every byte, one at a time, on both directions'
-// syscall boundaries — the adversarial TCP segmentation a correct
-// framing layer must not notice.
-type fragmentConn struct {
-	net.Conn
-}
-
-func (c fragmentConn) Read(p []byte) (int, error) {
-	if len(p) > 1 {
-		p = p[:1]
-	}
-	return c.Conn.Read(p)
-}
-
-func (c fragmentConn) Write(p []byte) (int, error) {
-	for i := range p {
-		if _, err := c.Conn.Write(p[i : i+1]); err != nil {
-			return i, err
-		}
-	}
-	return len(p), nil
-}
-
 // TestShortReadsWritesPreserveFrames runs a full search→stats→ingest
 // conversation over a connection fragmented to one byte per
 // read/write and requires byte-identical behaviour to a clean
@@ -169,14 +122,10 @@ func TestShortReadsWritesPreserveFrames(t *testing.T) {
 
 	clean := transport.NewRemoteShard(addr, testClientConfig())
 	defer clean.Close()
+	d := fault.NewDialer()
+	d.FragmentAll()
 	fragCfg := testClientConfig()
-	fragCfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
-		c, err := net.DialTimeout("tcp", addr, timeout)
-		if err != nil {
-			return nil, err
-		}
-		return fragmentConn{c}, nil
-	}
+	fragCfg.Dial = d.Dial
 	frag := transport.NewRemoteShard(addr, fragCfg)
 	defer frag.Close()
 
@@ -202,31 +151,6 @@ func TestShortReadsWritesPreserveFrames(t *testing.T) {
 	}
 }
 
-// truncateConn cuts the response stream after limit bytes, simulating a
-// server dying mid-frame.
-type truncateConn struct {
-	net.Conn
-	mu    sync.Mutex
-	limit int
-}
-
-func (c *truncateConn) Read(p []byte) (int, error) {
-	c.mu.Lock()
-	limit := c.limit
-	c.mu.Unlock()
-	if limit <= 0 {
-		return 0, io.EOF
-	}
-	if len(p) > limit {
-		p = p[:limit]
-	}
-	n, err := c.Conn.Read(p)
-	c.mu.Lock()
-	c.limit -= n
-	c.mu.Unlock()
-	return n, err
-}
-
 // TestTruncatedResponseFailsCleanly pins the short-read contract: a
 // response cut mid-frame yields ErrFrameTruncated-shaped failure (or a
 // clean EOF), never a partial decode, and the connection is not reused.
@@ -235,14 +159,10 @@ func TestTruncatedResponseFailsCleanly(t *testing.T) {
 	addr := startOneServer(t, p, ingest.DefaultConfig())
 
 	for _, limit := range []int{0, 1, 3, 4, 5} {
+		d := fault.NewDialer()
+		d.TruncateNext(limit)
 		cfg := testClientConfig()
-		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
-			c, err := net.DialTimeout("tcp", addr, timeout)
-			if err != nil {
-				return nil, err
-			}
-			return &truncateConn{Conn: c, limit: limit}, nil
-		}
+		cfg.Dial = d.Dial
 		c := transport.NewRemoteShard(addr, cfg)
 		if _, err := c.Epoch(); err == nil {
 			t.Fatalf("limit %d: truncated response decoded successfully", limit)
@@ -314,6 +234,89 @@ func TestPartialResultsLandInStats(t *testing.T) {
 	}
 }
 
+// TestEpochSampleBackoff pins the fix for the ROADMAP dial-timeout
+// hole: while a shard is down, the serving cache's per-request
+// epoch-vector sample must cost at most one dial per backoff window —
+// not one dial (and its timeout) per request. The dial count is the
+// proof, mirroring PR 4's reconnect-once technique; the sample still
+// reports EpochUnknown every time, so every request stays uncacheable
+// while the shard is down.
+func TestEpochSampleBackoff(t *testing.T) {
+	p, _ := testPipeline(t)
+	icfg := ingest.DefaultConfig()
+	idx0 := ingest.New(shard.Partition(p.Corpus, 0, 2), icfg)
+	defer idx0.Close()
+
+	// A dead address that refuses dials instantly. RemoteShard.Dials
+	// counts only *successful* dials, so count attempts in the dial
+	// func itself.
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := deadLn.Addr().String()
+	deadLn.Close()
+	var dialAttempts int64
+	cfg := transport.ClientConfig{
+		Timeout: 200 * time.Millisecond,
+		Dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+			dialAttempts++
+			return net.DialTimeout("tcp", addr, timeout)
+		},
+	}
+	dead := transport.NewRemoteShard(deadAddr, cfg)
+	defer dead.Close()
+
+	cluster := shard.NewCluster(p.World, shard.NewLocal(idx0), dead)
+	const window = 300 * time.Millisecond
+	cluster.SetBackoff(shard.Backoff{Initial: window, Max: window})
+	det := core.NewShardedLiveDetectorOver(p.Collection, cluster, p.Cfg.Online)
+	srv := serve.New(det, serve.Config{CacheSize: 64})
+
+	// A burst of epoch samples inside one window: exactly one dial.
+	for i := 0; i < 16; i++ {
+		vec, err := cluster.EpochVector(nil)
+		if err == nil {
+			t.Fatal("sampling a dead shard reported no error")
+		}
+		if len(vec) != 2 || vec[1] != shard.EpochUnknown {
+			t.Fatalf("sample %d: vector %v does not flag the dead shard", i, vec)
+		}
+	}
+	if dialAttempts != 1 {
+		t.Fatalf("16 epoch samples inside one backoff window attempted %d dials, want 1", dialAttempts)
+	}
+
+	// The serving layer's per-request vector sample goes through the
+	// same gate — still no extra dials. Stats() samples the vector
+	// without scattering a query (a query's own scatter keeps its
+	// fail-fast contract and is deliberately not gated here).
+	for i := 0; i < 8; i++ {
+		if st := srv.Stats(); len(st.EpochVector) != 2 || st.EpochVector[1] != core.EpochUnknown {
+			t.Fatalf("serve stats sample %d: %v", i, st.EpochVector)
+		}
+	}
+	if dialAttempts != 1 {
+		t.Fatalf("8 serve-stats samples attempted %d total dials, want still 1", dialAttempts)
+	}
+
+	// After the window expires the sampler is granted exactly one fresh
+	// probe.
+	time.Sleep(window + 50*time.Millisecond)
+	for i := 0; i < 8; i++ {
+		cluster.EpochVector(nil)
+	}
+	if dialAttempts != 2 {
+		t.Fatalf("samples after window expiry attempted %d total dials, want 2", dialAttempts)
+	}
+	if h := cluster.Health(1); h.Healthy() {
+		t.Fatal("dead shard's health reports healthy")
+	}
+	if h := cluster.Health(0); !h.Healthy() {
+		t.Fatal("live shard's health reports unhealthy")
+	}
+}
+
 // TestWritesAreNeverRetried pins the idempotency rule: a write that
 // fails on a stale pooled connection surfaces the error instead of
 // being re-sent — the server may already have applied it, and a
@@ -323,16 +326,16 @@ func TestWritesAreNeverRetried(t *testing.T) {
 	p, _ := testPipeline(t)
 	addr := startOneServer(t, p, ingest.DefaultConfig())
 
-	d := &trackingDialer{}
+	d := fault.NewDialer()
 	cfg := testClientConfig()
-	cfg.Dial = d.dial
+	cfg.Dial = d.Dial
 	c := transport.NewRemoteShard(addr, cfg)
 	defer c.Close()
 
 	if _, err := c.Epoch(); err != nil {
 		t.Fatal(err)
 	}
-	d.killAll()
+	d.KillAll()
 	post := streamPosts(p, 103, 1)[0]
 	if _, err := c.Ingest(post); err == nil {
 		t.Fatal("write on a dropped connection succeeded — it must have been silently retried")

@@ -1,0 +1,39 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/shard"
+)
+
+// DialReplicas builds one handshaken RemoteShard per address, every
+// one of them claiming the *same* partition coordinates — the
+// client-side wiring step of a replicated shard, whose replicas are
+// interchangeable shardd processes serving identical content. The
+// handshake pins each server's shard index, partition count, world
+// size, base slice and incarnation exactly as a single-replica wiring
+// would, so a mis-deployed replica (wrong partition, wrong pipeline
+// build, restarted process) fails here instead of skewing rankings
+// after a failover. On any failure every already-dialed client is
+// closed and the error names the offending address. The returned
+// backends are ordered as addrs — addrs[0] becomes the primary when
+// handed to replica.NewSet.
+func DialReplicas(addrs []string, shardIdx, numShards, users, baseTweets int, cfg ClientConfig) ([]shard.Backend, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("transport: shard %d: no replica addresses", shardIdx)
+	}
+	backends := make([]shard.Backend, 0, len(addrs))
+	for _, addr := range addrs {
+		c := NewRemoteShard(strings.TrimSpace(addr), cfg)
+		if err := c.Handshake(shardIdx, numShards, users, baseTweets); err != nil {
+			c.Close()
+			for _, b := range backends {
+				b.Close()
+			}
+			return nil, fmt.Errorf("transport: shard %d replica %s: %w", shardIdx, addr, err)
+		}
+		backends = append(backends, c)
+	}
+	return backends, nil
+}

@@ -320,6 +320,65 @@ func TestHandshakeRejectsMisdeployment(t *testing.T) {
 	}
 }
 
+// TestDialReplicas pins the replica-aware wiring step: every address
+// of a group must serve the same partition coordinates (the
+// handshake runs per replica), a group with a mis-deployed member
+// fails as a whole with every already-dialed client closed, and an
+// empty group is rejected.
+func TestDialReplicas(t *testing.T) {
+	p, _ := testPipeline(t)
+	icfg := ingest.DefaultConfig()
+	part := shard.Partition(p.Corpus, 0, 2)
+	users := len(p.World.Users)
+
+	// Two interchangeable servers for shard 0 of 2.
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		idx := ingest.New(part, icfg)
+		srv, err := transport.Listen("127.0.0.1:0", idx, transport.DefaultServerConfig(0, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			srv.Close()
+			idx.Close()
+		})
+		addrs = append(addrs, srv.Addr().String())
+	}
+	reps, err := transport.DialReplicas(addrs, 0, 2, users, part.NumTweets(), testClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("dialed %d replicas, want 2", len(reps))
+	}
+	for i, r := range reps {
+		if e, err := r.Epoch(); err != nil || e == 0 {
+			t.Fatalf("replica %d: epoch %d, err %v", i, e, err)
+		}
+		r.Close()
+	}
+
+	// A group whose second member claims the wrong partition fails as a
+	// whole — the error names the offender.
+	wrongIdx := ingest.New(shard.Partition(p.Corpus, 1, 2), icfg)
+	wrongSrv, err := transport.Listen("127.0.0.1:0", wrongIdx, transport.DefaultServerConfig(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		wrongSrv.Close()
+		wrongIdx.Close()
+	})
+	if _, err := transport.DialReplicas([]string{addrs[0], wrongSrv.Addr().String()},
+		0, 2, users, part.NumTweets(), testClientConfig()); err == nil {
+		t.Fatal("a mis-deployed replica was accepted into the group")
+	}
+	if _, err := transport.DialReplicas(nil, 0, 2, users, part.NumTweets(), testClientConfig()); err == nil {
+		t.Fatal("an empty replica group was accepted")
+	}
+}
+
 // TestConnectionReuse pins the pooling behaviour the latency numbers
 // rest on: a sequence of queries on one client reuses one connection
 // instead of dialing per request.
