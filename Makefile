@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench cover cover-check check docs-check bench-shard bench-remote bench-replica fuzz-smoke
+.PHONY: all build test race vet bench cover cover-check check docs-check bench-shard bench-remote bench-replica bench-json fuzz-smoke
 
 all: check
 
@@ -48,9 +48,24 @@ bench-remote:
 bench-replica:
 	$(GO) test -bench 'Replicated|Failover' -benchmem -run '^$$' ./internal/replica
 
-# A brief native-fuzz pass over the wire codec (FuzzDecodeFrame): the
-# decoders must never panic or over-allocate on adversarial input.
-# Raise FUZZTIME for longer local hunts.
+# Machine-readable benchmark snapshot: runs every per-layer bench suite
+# and converts the output to benchstat-compatible JSON via
+# cmd/benchjson. BENCHN names the PR the snapshot belongs to, so
+# successive PRs leave comparable BENCH_<n>.json files behind.
+BENCHN ?= 6
+bench-json:
+	@{ $(GO) test -bench 'Table9|ServeQPS|OnlineSearch' -benchmem -run '^$$' . ; \
+	   $(GO) test -bench 'Ingest|LiveSearch' -benchmem -run '^$$' ./internal/ingest ; \
+	   $(GO) test -bench 'Sharded|EpochVector' -benchmem -run '^$$' ./internal/shard ; \
+	   $(GO) test -bench 'Remote|WireSearchCodec' -benchmem -run '^$$' ./internal/transport ; \
+	   $(GO) test -bench 'Replicated|Failover' -benchmem -run '^$$' ./internal/replica ; } \
+	 | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_$(BENCHN).json
+
+# A brief native-fuzz pass over the wire codec (FuzzDecodeFrame): every
+# op's payload decoder — including the PR 6 OpSearchStats composite,
+# OpSubscribe/OpEpochDelta acks and the OpDeflate envelope — must never
+# panic or over-allocate on adversarial input, and every successful
+# decode must round-trip. Raise FUZZTIME for longer local hunts.
 FUZZTIME ?= 15s
 fuzz-smoke:
 	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)

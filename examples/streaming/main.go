@@ -100,6 +100,11 @@ func main() {
 		backend serve.Backend
 		sink    serve.Sink
 		collect func() []microblog.Tweet // ingested tweets, for the cold rebuild
+		// remotePrimaries, in -remote mode, are the per-group primary
+		// clients — the smoke check below proves their epoch sampling
+		// rides the push subscription (zero probe round trips after
+		// warmup) instead of paying one RTT per serve-cache lookup.
+		remotePrimaries []*transport.RemoteShard
 	)
 	if *remote != "" {
 		groups := strings.Split(*remote, ",")
@@ -139,6 +144,7 @@ func main() {
 			maxReplicas = max(maxReplicas, len(reps))
 		}
 		*replicas = maxReplicas
+		remotePrimaries = primaries
 		cluster := shard.NewCluster(pipeline.World, backends...)
 		defer cluster.Close()
 		backend = core.NewShardedLiveDetectorOver(pipeline.Collection, cluster, online)
@@ -244,6 +250,19 @@ func main() {
 	before := srv.Search(spot)
 	fmt.Printf("epoch %-4d  %q -> %d experts (pre-ingest)\n", backend.Epoch(), spot, len(before))
 
+	// Warm the push subscriptions explicitly, then snapshot the epoch
+	// round-trip counters: everything the mixed load does from here on
+	// must learn epochs from pushed deltas alone.
+	var epochRTTsWarm int64
+	for _, c := range remotePrimaries {
+		if _, err := c.Epoch(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, c := range remotePrimaries {
+		epochRTTsWarm += c.EpochRTTs()
+	}
+
 	workers := runtime.GOMAXPROCS(0)
 	res := serve.RunMixedLoad(srv, sink, serve.MixedLoadConfig{
 		Queries:       pool,
@@ -269,6 +288,18 @@ func main() {
 
 	after := srv.Search(spot)
 	fmt.Printf("\nepoch %-4d  %q -> %d experts (post-ingest)\n", backend.Epoch(), spot, len(after))
+
+	if remotePrimaries != nil {
+		var rtts int64
+		for _, c := range remotePrimaries {
+			rtts += c.EpochRTTs()
+		}
+		fmt.Printf("push path: %d epoch-probe round trips after warmup (want 0)\n", rtts-epochRTTsWarm)
+		if rtts != epochRTTsWarm {
+			log.Fatalf("epoch sampling fell off the push path: %d probe round trips during the mixed load",
+				rtts-epochRTTsWarm)
+		}
+	}
 
 	// Quiesce and verify: the live index — sharded or not — must agree
 	// with a cold detector over base + everything that was ingested.

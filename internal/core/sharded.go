@@ -52,13 +52,19 @@ type ShardedLiveDetector struct {
 
 // shardSlot holds one shard's per-query state: the extracted raw rows,
 // the shard's matched-union size, the pinned view, the denominator
-// fetch buffer and the per-phase errors.
+// fetch buffers and the per-phase errors. composite marks a slot whose
+// scatter ran the fused SearchStats — ownStats then already holds the
+// denominators for the shard's own candidates (aligned with raw), and
+// phase two only tops up the foreign candidates in topUsers.
 type shardSlot struct {
-	raw     []expertise.RawCandidate
-	matched int
-	view    shard.View
-	stats   []expertise.UserStats
-	err     error
+	raw       []expertise.RawCandidate
+	matched   int
+	view      shard.View
+	stats     []expertise.UserStats
+	ownStats  []expertise.UserStats
+	topUsers  []world.UserID
+	composite bool
+	err       error
 }
 
 // shardedScratch is the pooled per-query state of the sharded online
@@ -205,8 +211,21 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 	fanOut(n, min(n, workers), func(si int) {
 		sl := &s.shards[si]
 		sl.view = nil
+		sl.composite = false
+		b := d.cluster.Backend(si)
+		if ss, ok := b.(shard.SearchStatser); ok {
+			// Composite scatter: rows plus the shard's own candidates'
+			// denominators arrive together (for a remote shard, in one
+			// round trip). Phase two then owes only the foreign
+			// candidates' denominators — nothing at all when this shard
+			// saw every global candidate, which is the healthy N=1 case.
+			sl.raw, sl.matched, sl.ownStats, sl.view, sl.err =
+				ss.SearchStats(s.terms, d.extended, sl.raw, sl.ownStats)
+			sl.composite = sl.err == nil
+			return
+		}
 		sl.raw, sl.matched, sl.view, sl.err =
-			d.cluster.Backend(si).Search(s.terms, d.extended, sl.raw)
+			b.Search(s.terms, d.extended, sl.raw)
 	})
 
 	matched := 0
@@ -236,7 +255,21 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 			if sl.err != nil {
 				return
 			}
-			sl.stats, sl.err = sl.view.Stats(s.users, sl.stats)
+			if !sl.composite {
+				sl.stats, sl.err = sl.view.Stats(s.users, sl.stats)
+				return
+			}
+			// Top up the composite: only the global candidates this
+			// shard did not itself surface still need its denominators —
+			// a user's mentions live partly on shards where the user
+			// never posted. The fetch runs against the same pinned view
+			// the composite answered from, so the totals stay exact.
+			sl.topUsers = missingUsers(sl.topUsers[:0], s.users, sl.raw)
+			if len(sl.topUsers) == 0 {
+				sl.stats = sl.stats[:0]
+				return
+			}
+			sl.stats, sl.err = sl.view.Stats(sl.topUsers, sl.stats)
 		})
 	}
 	s.denoms = s.denoms[:0]
@@ -259,9 +292,22 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 			failed++
 			continue
 		}
-		if len(s.users) > 0 {
-			expertise.AddUserStats(s.denoms, sl.stats)
+		if len(s.users) == 0 {
+			continue
 		}
+		if sl.composite {
+			// The shard's contribution arrives in two aligned pieces:
+			// own-candidate denominators (positionally aligned with its
+			// rows) and the topped-up foreign ones. Integer adds commute,
+			// so the split accumulation sums to exactly what one full
+			// fetch would have.
+			addStatsForRows(s.denoms, s.users, sl.raw, sl.ownStats)
+			if len(sl.topUsers) > 0 {
+				addStatsForUsers(s.denoms, s.users, sl.topUsers, sl.stats)
+			}
+			continue
+		}
+		expertise.AddUserStats(s.denoms, sl.stats)
 	}
 
 	s.cands = d.ranker.FinalizeRaw(s.cands, s.merged, s.denoms, d.cluster.World())
@@ -272,4 +318,76 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 		d.shardErrors.Add(int64(failed))
 	}
 	return results, matched
+}
+
+// missingUsers appends to dst every user in all that rows does not
+// cover — the foreign candidates whose denominators a composite shard
+// still owes. Both inputs are ascending by user (the merge and the
+// per-shard extraction both emit that order), so one two-pointer pass
+// suffices and dst comes out ascending, as View.Stats requires.
+func missingUsers(dst []world.UserID, all []world.UserID, rows []expertise.RawCandidate) []world.UserID {
+	j := 0
+	for _, u := range all {
+		for j < len(rows) && rows[j].User < u {
+			j++
+		}
+		if j < len(rows) && rows[j].User == u {
+			j++
+			continue
+		}
+		dst = append(dst, u)
+	}
+	return dst
+}
+
+// addStatsForRows accumulates a composite shard's own-candidate
+// denominators (stats aligned with rows) into the global accumulator
+// (denoms aligned with users). rows' users are a subset of users and
+// both are ascending; entries that fall outside users — impossible
+// from a well-behaved shard, since the global candidate set is the
+// union of per-shard rows — are dropped rather than mis-added.
+func addStatsForRows(denoms []expertise.UserStats, users []world.UserID, rows []expertise.RawCandidate, stats []expertise.UserStats) {
+	j := 0
+	n := min(len(rows), len(stats))
+	for i := 0; i < n; i++ {
+		u := rows[i].User
+		for j < len(users) && users[j] < u {
+			j++
+		}
+		if j == len(users) {
+			return
+		}
+		if users[j] != u {
+			continue
+		}
+		denoms[j].Tweets += stats[i].Tweets
+		denoms[j].Mentions += stats[i].Mentions
+		denoms[j].Retweets += stats[i].Retweets
+		j++
+	}
+}
+
+// addStatsForUsers accumulates a top-up fetch (stats aligned with sub,
+// an ascending subset of users) into the global accumulator (denoms
+// aligned with users) — the same bounded two-pointer walk as
+// addStatsForRows, keyed by an explicit user list.
+func addStatsForUsers(denoms []expertise.UserStats, users []world.UserID, sub []world.UserID, stats []expertise.UserStats) {
+	j := 0
+	n := min(len(sub), len(stats))
+	for i := 0; i < n; i++ {
+		u := sub[i]
+		for j < len(users) && users[j] < u {
+			j++
+		}
+		if j == len(users) {
+			return
+		}
+		if users[j] != u {
+			continue
+		}
+		denoms[j].Tweets += stats[i].Tweets
+		denoms[j].Mentions += stats[i].Mentions
+		denoms[j].Retweets += stats[i].Retweets
+		j++
+	}
 }

@@ -83,6 +83,17 @@ type Index struct {
 	compactions int64
 
 	snap atomic.Pointer[Snapshot]
+	// watch is the publish notification channel: closed and replaced on
+	// publishLocked, so anyone holding the channel Watch returned is
+	// woken exactly when a newer snapshot than the one they read becomes
+	// visible. The pointer swap happens after snap.Store, which is what
+	// makes the Watch-then-Epoch idiom race-free (see Watch). watched
+	// makes the publish-side work lazy: the swap+close (one channel
+	// allocation per publish) runs only when some Watch call armed it
+	// since the last swap, so an index nobody watches — every in-process
+	// deployment — publishes with zero notification overhead.
+	watch   atomic.Pointer[chan struct{}]
+	watched atomic.Bool
 
 	compactReq chan struct{}
 	done       chan struct{}
@@ -108,6 +119,8 @@ func New(base *microblog.Corpus, cfg Config) *Index {
 		compactReq:  make(chan struct{}, 1),
 		done:        make(chan struct{}),
 	}
+	w0 := make(chan struct{})
+	i.watch.Store(&w0)
 	i.mu.Lock()
 	i.publishLocked()
 	i.mu.Unlock()
@@ -170,6 +183,24 @@ func (i *Index) Snapshot() *Snapshot { return i.snap.Load() }
 // Epoch returns the epoch of the current snapshot.
 func (i *Index) Epoch() uint64 { return i.snap.Load().epoch }
 
+// Watch returns a channel that is closed when a snapshot newer than
+// the current one is published. To wait without losing a wakeup, grab
+// the channel first and read Epoch (or Snapshot) second: a publish
+// racing the two reads either bumped the epoch you are about to read
+// or will close the channel you already hold. Each publish retires the
+// channel, so re-Watch after every wakeup.
+//
+// The channel is loaded before watched is armed: any channel this
+// returns is either still current when the caller sleeps on it — in
+// which case watched is already true and the next publish closes it —
+// or it was retired by a racing publish, which means it is closed and
+// the caller wakes immediately. Either way no wakeup is lost.
+func (i *Index) Watch() <-chan struct{} {
+	ch := *i.watch.Load()
+	i.watched.Store(true)
+	return ch
+}
+
 // sealLocked freezes the active segment into an immutable
 // corpus-backed segment. Called with mu held; the build cost is bounded
 // by SealThreshold, keeping the write stall short.
@@ -196,6 +227,18 @@ func (i *Index) publishLocked() {
 		tail:      i.active[:len(i.active):len(i.active)],
 		tailStart: i.activeStart,
 	})
+	// Wake watchers only after the new snapshot is visible, and replace
+	// the channel before closing it so a watcher that re-Watches
+	// immediately gets the next generation, not a closed channel. The
+	// swap runs only when someone armed watched since the last one —
+	// channels are retired exclusively by being closed here (swaps
+	// serialize under mu), so a skipped publish leaves every handed-out
+	// channel current and its holder covered by the next armed publish.
+	if i.watched.Swap(false) {
+		next := make(chan struct{})
+		old := i.watch.Swap(&next)
+		close(*old)
+	}
 }
 
 // kickCompactor nudges the background compactor without blocking.

@@ -61,6 +61,7 @@ import (
 	"repro/internal/expertise"
 	"repro/internal/microblog"
 	"repro/internal/shard"
+	"repro/internal/world"
 )
 
 // ErrNoReplica reports a read with no admissible replica: every
@@ -295,6 +296,71 @@ func (s *Set) Search(terms []string, extended bool, raw []expertise.RawCandidate
 		firstErr = ErrNoReplica
 	}
 	return raw[:0], 0, nil, firstErr
+}
+
+// SearchStats implements shard.SearchStatser with the same
+// freshest-reachable rotation and failover as Search, so a replicated
+// remote shard keeps the one-round-trip composite query. A replica
+// that implements the composite answers it directly; one that does not
+// is emulated with Search plus a Stats for its own candidates against
+// the same pinned view — identical totals either way.
+func (s *Set) SearchStats(terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) ([]expertise.RawCandidate, int, []expertise.UserStats, shard.View, error) {
+	epoch := s.epoch.Load()
+	n := len(s.replicas)
+	start := int(s.rr.Add(1) % uint64(n))
+	var firstErr error
+	tried := 0
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if s.applied[i].Load() < epoch {
+			continue
+		}
+		if !s.health[i].Allow() {
+			continue
+		}
+		rows, matched, rowStats, v, err := replicaSearchStats(s.replicas[i], terms, extended, raw, stats)
+		if err == nil {
+			s.health[i].Ok()
+			s.reads[i].Add(1)
+			if tried > 0 {
+				s.failovers.Add(1)
+			}
+			return rows, matched, rowStats, v, nil
+		}
+		s.health[i].Fail()
+		tried++
+		if firstErr == nil {
+			firstErr = fmt.Errorf("replica %d: %w", i, err)
+		}
+		raw, stats = rows[:0], rowStats[:0] // reuse the scratch buffers
+	}
+	if firstErr == nil {
+		firstErr = ErrNoReplica
+	}
+	return raw[:0], 0, stats[:0], nil, firstErr
+}
+
+// replicaSearchStats runs the composite against one replica,
+// emulating it (search, then own-candidate stats on the pinned view)
+// when the replica predates shard.SearchStatser.
+func replicaSearchStats(b shard.Backend, terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) ([]expertise.RawCandidate, int, []expertise.UserStats, shard.View, error) {
+	if ss, ok := b.(shard.SearchStatser); ok {
+		return ss.SearchStats(terms, extended, raw, stats)
+	}
+	rows, matched, v, err := b.Search(terms, extended, raw)
+	if err != nil {
+		return rows, 0, stats[:0], nil, err
+	}
+	users := make([]world.UserID, 0, len(rows))
+	for i := range rows {
+		users = append(users, rows[i].User)
+	}
+	stats, err = v.Stats(users, stats)
+	if err != nil {
+		v.Release()
+		return rows[:0], 0, stats[:0], nil, err
+	}
+	return rows, matched, stats, v, nil
 }
 
 // Quiesce implements shard.Backend: the primary is always drained —

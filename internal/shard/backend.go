@@ -63,13 +63,32 @@ type Backend interface {
 	Close() error
 }
 
+// SearchStatser is optionally implemented by backends that can answer
+// the whole search→stats conversation in one call: the candidate rows
+// plus the denominator triples for those same candidates (positionally
+// aligned with rows), all read from one pinned view. For a remote
+// backend that is the OpSearchStats composite — one round trip instead
+// of two — and the returned View still answers the coordinator's
+// top-up Stats for foreign candidates against the same pinned state.
+// A backend without this interface runs the classic two-step; the
+// results are bit-identical either way, because the denominators are
+// commutative integer sums.
+type SearchStatser interface {
+	// SearchStats is Backend.Search fused with a View.Stats for the
+	// returned rows' own users: stats[i] belongs to rows[i].User. The
+	// caller must Release the view exactly as with Search.
+	SearchStats(terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) (rows []expertise.RawCandidate, matched int, rowStats []expertise.UserStats, v View, err error)
+}
+
 // EpochLocality is optionally implemented by backends whose Epoch is a
 // process-local read (an atomic load or a counter) rather than an RPC.
 // A Cluster samples such backends in a tight sequential loop with no
 // failure bookkeeping — the probe cannot dial and cannot fail. Local
 // is implicitly epoch-local; replica.Set implements this interface
 // because its logical write epoch is a coordinator-side counter even
-// when every replica behind it is remote.
+// when every replica behind it is remote; transport.RemoteShard
+// implements it dynamically — true exactly while an epoch-push
+// subscription keeps its cached epoch fresh.
 type EpochLocality interface {
 	// EpochIsLocal reports whether Epoch reads process-local state.
 	EpochIsLocal() bool
@@ -124,6 +143,7 @@ type localScratch struct {
 	locals   [][]microblog.TweetID
 	frontier [][]microblog.TweetID
 	merged   []microblog.TweetID
+	users    []world.UserID
 }
 
 // NewLocal wraps a streaming index as a Backend.
@@ -168,6 +188,34 @@ func (l *Local) Search(terms []string, extended bool, raw []expertise.RawCandida
 	v.snap = snap
 	return raw, matched, v, nil
 }
+
+// SearchStats implements SearchStatser in-process: Search plus a
+// stats evaluation for the matched candidates against the same pinned
+// snapshot. It exists so a Local slots into the same composite
+// coordinator path a remote shard uses — same work, same totals
+// (own-candidate stats here, foreign top-up through the view), which
+// keeps the mixed local/remote topology on a single code path and the
+// equivalence spine easy to hold.
+func (l *Local) SearchStats(terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) ([]expertise.RawCandidate, int, []expertise.UserStats, View, error) {
+	rows, matched, v, err := l.Search(terms, extended, raw)
+	if err != nil {
+		return rows, matched, stats[:0], nil, err
+	}
+	s := l.pool.Get().(*localScratch)
+	s.users = s.users[:0]
+	for i := range rows {
+		s.users = append(s.users, rows[i].User)
+	}
+	stats, err = v.Stats(s.users, stats)
+	l.pool.Put(s)
+	if err != nil {
+		v.Release()
+		return rows, matched, stats[:0], nil, err
+	}
+	return rows, matched, stats, v, nil
+}
+
+var _ SearchStatser = (*Local)(nil)
 
 // View pins the current snapshot without running a search — the stats
 // surface a protocol peer may hit on a connection that has not searched
@@ -356,12 +404,15 @@ func (c *Cluster) probeEpoch(i int) (uint64, error) {
 // contributes EpochUnknown — the serving cache bypasses itself for
 // such samples — and the first failure is also returned. For a
 // cluster of epoch-local backends the sample is a tight loop of
-// atomic loads; with remote members each probe is an RPC, so the
-// probes run concurrently — one slow or timing-out shard costs one
-// round trip, not N stacked ones, and healthy shards never wait
-// behind a dead one — and each probe runs through a per-shard failure
-// backoff (Health), so a *dead* shard costs one dial per backoff
-// window rather than one dial timeout per request.
+// atomic loads. Otherwise locality is re-checked per shard per sample:
+// backends that are epoch-local right now (Local, replica.Set, a
+// RemoteShard with a live push subscription) are read inline, and only
+// the rest — cold or lapsed remotes — fan out as concurrent RPC
+// probes, so one slow shard costs one round trip, not N stacked ones.
+// Each probe runs through a per-shard failure backoff (Health), so a
+// *dead* shard costs one dial per backoff window rather than one dial
+// timeout per request; on the warm all-subscribed path the fan-out
+// (and its goroutines) disappears entirely.
 func (c *Cluster) EpochVector(dst []uint64) ([]uint64, error) {
 	dst = dst[:0]
 	if c.localEpochs {
@@ -378,29 +429,57 @@ func (c *Cluster) EpochVector(dst []uint64) ([]uint64, error) {
 		}
 		return dst, firstErr
 	}
-	if len(c.backends) == 1 {
-		e, err := c.probeEpoch(0)
-		return append(dst, e), err
-	}
-	for range c.backends {
+	var pend []int
+	var firstErr error
+	for i, b := range c.backends {
+		if epochIsLocal(b) {
+			// A local read cannot dial, but its outcome still feeds the
+			// shard's health gate so a lapse-then-recovery sequence
+			// observes consistent bookkeeping.
+			e, err := b.Epoch()
+			if err != nil {
+				c.health[i].Fail()
+				e = EpochUnknown
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard %d: %w", i, err)
+				}
+			} else {
+				c.health[i].Ok()
+			}
+			dst = append(dst, e)
+			continue
+		}
 		dst = append(dst, 0)
+		pend = append(pend, i)
 	}
-	errs := make([]error, len(c.backends))
+	switch len(pend) {
+	case 0:
+		return dst, firstErr
+	case 1:
+		i := pend[0]
+		e, err := c.probeEpoch(i)
+		dst[i] = e
+		if firstErr == nil {
+			firstErr = err
+		}
+		return dst, firstErr
+	}
+	errs := make([]error, len(pend))
 	var wg sync.WaitGroup
-	wg.Add(len(c.backends))
-	for i := range c.backends {
-		go func(i int) {
+	wg.Add(len(pend))
+	for pi, i := range pend {
+		go func(pi, i int) {
 			defer wg.Done()
-			dst[i], errs[i] = c.probeEpoch(i)
-		}(i)
+			dst[i], errs[pi] = c.probeEpoch(i)
+		}(pi, i)
 	}
 	wg.Wait()
 	for _, err := range errs {
-		if err != nil {
-			return dst, err
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return dst, nil
+	return dst, firstErr
 }
 
 // Failovers sums the failed-over read counts of every backend that

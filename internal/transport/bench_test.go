@@ -2,12 +2,16 @@
 // shard sits behind a loopback TCP round trip
 // (BenchmarkRemoteSearchSharded*, compared against the in-process
 // BenchmarkLiveSearchSharded* numbers in internal/shard — the delta is
-// the price of the process boundary: two round trips per shard per
-// query, encode/decode, and kernel socket hops), plus the isolated
-// frame codec cost (BenchmarkWireSearchCodec). BENCHMARKS.md records
-// the per-PR numbers; on the 1-core CI container the per-shard round
-// trips serialize, so multi-shard remote latency there is an upper
-// bound, not the parallel-deployment number.
+// the price of the process boundary: since the OpSearchStats composite,
+// one round trip per shard per query on a single-shard deployment,
+// plus at most one top-up round trip per shard when N > 1 —
+// encode/decode and kernel socket hops on top), the warm epoch-sample
+// cost on a subscribed client (BenchmarkRemoteEpochSample — a memory
+// read, no frames), a mixed read/write load (BenchmarkRemoteMixedLoad)
+// and the isolated frame codec cost (BenchmarkWireSearchCodec).
+// BENCHMARKS.md records the per-PR numbers; on the 1-core CI container
+// the per-shard round trips serialize, so multi-shard remote latency
+// there is an upper bound, not the parallel-deployment number.
 package transport_test
 
 import (
@@ -51,8 +55,9 @@ func benchRemoteCluster(b *testing.B, n, posts int) *core.ShardedLiveDetector {
 
 // benchRemoteSearch measures steady-state scatter-gather latency with
 // every shard behind loopback TCP: per query, each shard costs one
-// OpSearch and (when candidates exist) one OpStats round trip on a
-// pooled connection.
+// OpSearchStats composite round trip on a pooled connection, plus (only
+// when N > 1 and foreign candidates exist) one top-up OpStats round
+// trip against the pinned snapshot.
 func benchRemoteSearch(b *testing.B, shards int) {
 	d := benchRemoteCluster(b, shards, 2048)
 	var n int
@@ -70,6 +75,67 @@ func benchRemoteSearch(b *testing.B, shards int) {
 
 func BenchmarkRemoteSearchSharded1(b *testing.B) { benchRemoteSearch(b, 1) }
 func BenchmarkRemoteSearchSharded4(b *testing.B) { benchRemoteSearch(b, 4) }
+
+// BenchmarkRemoteEpochSample measures the serving cache's per-request
+// freshness check on a warm subscribed client: the epoch vector is a
+// local atomic read per shard — no frames, no syscalls — which is what
+// the push channel buys over the old per-sample OpEpoch probe.
+func BenchmarkRemoteEpochSample(b *testing.B) {
+	p, _ := testPipeline(b)
+	clients := startShardServers(b, p, 2, ingest.DefaultConfig())
+	cluster := shard.NewCluster(p.World, clients[0], clients[1])
+	vec, err := cluster.EpochVector(nil) // warm: subscribes both clients
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range clients {
+		if !c.Subscribed() {
+			b.Fatal("warmup did not subscribe")
+		}
+	}
+	rtts := clients[0].EpochRTTs() + clients[1].EpochRTTs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vec, err = cluster.EpochVector(vec[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := clients[0].EpochRTTs() + clients[1].EpochRTTs() - rtts; got != 0 {
+		b.Fatalf("%d warm samples spent %d epoch round trips, want 0", b.N, got)
+	}
+}
+
+// BenchmarkRemoteMixedLoad measures sustained remote throughput under
+// the serving mix: per iteration one scatter-gather query, one
+// epoch-vector sample (the cache freshness check) and, every eighth
+// iteration, one routed ingest — the workload the round-trip
+// reductions of the push + composite protocol are aimed at.
+func BenchmarkRemoteMixedLoad(b *testing.B) {
+	d := benchRemoteCluster(b, 2, 2048)
+	cluster := d.Cluster()
+	p, _ := testPipeline(b)
+	stream := microblog.NewPostStream(p.World, microblog.DefaultStreamConfig(29))
+	queries := []string{"49ers", "nfl", "diabetes", "coffee"}
+	var vec []uint64
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Search(queries[i%len(queries)])
+		if vec, err = cluster.EpochVector(vec[:0]); err != nil {
+			b.Fatal(err)
+		}
+		if i%8 == 0 {
+			if _, err := cluster.Ingest(stream.Next()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if pq, _ := d.PartialStats(); pq != 0 {
+		b.Fatalf("%d partial queries during benchmark", pq)
+	}
+}
 
 // BenchmarkRemoteIngest measures routed write throughput over the
 // wire: one OpIngest frame per post on a pooled connection.

@@ -33,6 +33,18 @@ type ClientConfig struct {
 	// Dial overrides the dialer — the fault-injection tests wrap
 	// connections here. Nil means net.DialTimeout("tcp", addr, timeout).
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// DialBackoff tunes the reconnect budget: every fresh dial must be
+	// granted by a shard.Health running these windows, so a flapping or
+	// dead server costs one dial per backoff window instead of one per
+	// request. Zero fields take shard.DefaultBackoff.
+	DialBackoff shard.Backoff
+	// NoSubscribe disables the epoch-push subscription; Epoch then
+	// always probes with an OpEpoch round trip. The fault tests use it
+	// to pin the probe path.
+	NoSubscribe bool
+	// NoCompress keeps this client from advertising FeatureCompress, so
+	// neither side sends OpDeflate envelopes on its connections.
+	NoCompress bool
 }
 
 // DefaultClientConfig returns the client defaults.
@@ -59,24 +71,51 @@ type RemoteShard struct {
 	closed bool
 	// expect, once Handshake succeeds, pins the deployment identity —
 	// including the server incarnation — that every freshly dialed
-	// connection is re-verified against (see verifyConn).
+	// connection is re-verified against (see negotiate).
 	expect *InfoResp
 
+	// health is the dial budget: every fresh dial must be granted by
+	// this backoff state machine, failed dials (and failed negotiation)
+	// open its window.
+	health *shard.Health
+
+	// The epoch-push subscription. subMu guards subConn and the
+	// subscribe/teardown transitions; subOn flips true while a
+	// subscription's reader loop is live, and subEpoch mirrors the
+	// latest epoch the server reported (pushes, acks, probe and quiesce
+	// responses — monotonic via CAS, see noteEpoch). While subOn, Epoch
+	// is a memory read.
+	subMu    sync.Mutex
+	subConn  *clientConn
+	subOn    atomic.Bool
+	subEpoch atomic.Uint64
+
 	dials atomic.Int64
+	// epochRTTs counts round trips spent learning epochs (OpEpoch
+	// probes and OpSubscribe exchanges) — the number the push path
+	// drives to zero on warm connections.
+	epochRTTs atomic.Int64
 }
 
 // clientConn is one pooled connection plus its reusable buffers.
 type clientConn struct {
-	c      net.Conn
-	br     *bufio.Reader
-	in     []byte // frame read buffer
-	out    []byte // frame build buffer
-	pooled bool   // checked out of the idle pool (retry-once eligible)
+	c        net.Conn
+	br       *bufio.Reader
+	in       []byte // frame read buffer
+	out      []byte // frame build buffer
+	env      []byte // OpDeflate request envelope buffer
+	dec      []byte // OpDeflate response inflate buffer
+	pooled   bool   // checked out of the idle pool (retry-once eligible)
+	compress bool   // negotiated FeatureCompress on this connection
 }
 
-// RemoteShard must keep satisfying the interface the in-process shards
-// speak — that is the whole point of the transport.
-var _ shard.Backend = (*RemoteShard)(nil)
+// RemoteShard must keep satisfying the interfaces the in-process
+// shards speak — that is the whole point of the transport.
+var (
+	_ shard.Backend       = (*RemoteShard)(nil)
+	_ shard.SearchStatser = (*RemoteShard)(nil)
+	_ shard.EpochLocality = (*RemoteShard)(nil)
+)
 
 // NewRemoteShard builds a client for one shard server. No connection is
 // made until the first request (or Handshake).
@@ -93,7 +132,7 @@ func NewRemoteShard(addr string, cfg ClientConfig) *RemoteShard {
 	if cfg.IngestChunk <= 0 {
 		cfg.IngestChunk = 512
 	}
-	return &RemoteShard{addr: addr, cfg: cfg}
+	return &RemoteShard{addr: addr, cfg: cfg, health: shard.NewHealth(cfg.DialBackoff)}
 }
 
 // Addr returns the server address this client dials.
@@ -102,6 +141,25 @@ func (r *RemoteShard) Addr() string { return r.addr }
 // Dials returns how many connections this client has opened — the
 // fault-injection tests assert reconnects with it.
 func (r *RemoteShard) Dials() int64 { return r.dials.Load() }
+
+// EpochRTTs returns how many round trips this client has spent
+// learning epochs: OpEpoch probes plus OpSubscribe exchanges. On warm
+// subscribed connections the count stays flat — pushes carry the
+// epochs — which the streaming example's smoke run asserts.
+func (r *RemoteShard) EpochRTTs() int64 { return r.epochRTTs.Load() }
+
+// Subscribed reports whether an epoch-push subscription is currently
+// live (Epoch is a memory read while it is).
+func (r *RemoteShard) Subscribed() bool { return r.subOn.Load() }
+
+// EpochIsLocal implements shard.EpochLocality dynamically: sampling
+// this backend's epoch is free exactly while a subscription is live.
+// The Cluster re-checks per sample, so a lapsed subscription falls
+// back to health-gated probing automatically.
+func (r *RemoteShard) EpochIsLocal() bool { return r.subOn.Load() }
+
+// Health returns the client's dial budget state machine.
+func (r *RemoteShard) Health() *shard.Health { return r.health }
 
 // checkout pops an idle connection or dials a fresh one.
 func (r *RemoteShard) checkout() (*clientConn, error) {
@@ -121,8 +179,15 @@ func (r *RemoteShard) checkout() (*clientConn, error) {
 	return r.dialConn()
 }
 
-// dialConn opens a fresh connection.
+// dialConn opens a fresh connection, inside the dial budget: a grant
+// is requested from health first, a refused dial fails instantly with
+// shard.ErrBackoff, and the dial-plus-negotiation outcome feeds the
+// budget back. That caps reconnect attempts per backoff window no
+// matter how many requests pile onto a flapping shard.
 func (r *RemoteShard) dialConn() (*clientConn, error) {
+	if !r.health.Allow() {
+		return nil, fmt.Errorf("transport: dial %s: %w", r.addr, shard.ErrBackoff)
+	}
 	dial := r.cfg.Dial
 	if dial == nil {
 		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
@@ -131,14 +196,17 @@ func (r *RemoteShard) dialConn() (*clientConn, error) {
 	}
 	c, err := dial(r.addr, r.cfg.Timeout)
 	if err != nil {
+		r.health.Fail()
 		return nil, fmt.Errorf("transport: dial %s: %w", r.addr, err)
 	}
 	r.dials.Add(1)
 	cc := &clientConn{c: c, br: bufio.NewReader(c)}
-	if err := r.verifyConn(cc); err != nil {
+	if err := r.negotiate(cc); err != nil {
+		r.health.Fail()
 		cc.c.Close()
 		return nil, err
 	}
+	r.health.Ok()
 	return cc, nil
 }
 
@@ -156,29 +224,41 @@ func (r *RemoteShard) release(cc *clientConn) {
 	cc.c.Close()
 }
 
-// verifyConn re-runs the deployment handshake on a freshly dialed
-// connection once expectations are pinned (Handshake succeeded): the
-// server must still be the same shard, partition, world — and the same
+// features returns the feature bits this client advertises.
+func (r *RemoteShard) features() uint64 {
+	var f uint64
+	if !r.cfg.NoCompress {
+		f |= FeatureCompress
+	}
+	return f
+}
+
+// negotiate runs the once-per-connection OpInfo exchange on a freshly
+// dialed connection: it advertises the client's feature bits, records
+// the negotiated intersection on the connection, and — once Handshake
+// has pinned the deployment identity — re-verifies it. The server must
+// still be the same shard, partition, world — and the same
 // *incarnation*. A restarted shardd starts a fresh index whose epoch
 // regresses to zero; silently reconnecting to it would let the serving
 // cache treat pre-restart entries as fresh forever. The incarnation
 // check turns that into a hard backend failure, which the coordinator
 // degrades on (partial results, EpochUnknown, cache bypass) until the
 // operator re-wires.
-func (r *RemoteShard) verifyConn(cc *clientConn) error {
-	r.mu.Lock()
-	expect := r.expect
-	r.mu.Unlock()
-	if expect == nil {
-		return nil
-	}
-	resp, _, err := r.roundTrip(cc, OpInfo, nil, r.cfg.Timeout)
+func (r *RemoteShard) negotiate(cc *clientConn) error {
+	resp, _, err := r.roundTrip(cc, OpInfo, AppendInfoReq(nil, r.features()), r.cfg.Timeout)
 	if err != nil {
 		return err
 	}
 	info, _, err := ConsumeInfoResp(resp)
 	if err != nil {
 		return err
+	}
+	cc.compress = !r.cfg.NoCompress && info.Features&FeatureCompress != 0
+	r.mu.Lock()
+	expect := r.expect
+	r.mu.Unlock()
+	if expect == nil {
+		return nil
 	}
 	if info.Shard != expect.Shard || info.NumShards != expect.NumShards ||
 		info.Users != expect.Users || info.BaseTweets != expect.BaseTweets {
@@ -194,33 +274,61 @@ func (r *RemoteShard) verifyConn(cc *clientConn) error {
 }
 
 // roundTrip sends one framed request on cc and reads one response
-// frame, under one deadline. The returned payload aliases cc.in and is
-// valid until the next roundTrip on cc. An OpError response is decoded
-// into an error with okConn=true (the stream is still synchronized); an
-// unexpected op poisons the connection.
+// frame, under one deadline. The returned payload aliases cc.in or
+// cc.dec and is valid until the next roundTrip on cc. An OpError
+// response is decoded into an error with okConn=true (the stream is
+// still synchronized); an unexpected op poisons the connection. A
+// compression-negotiated connection sends fat requests as OpDeflate
+// envelopes (when that shrinks them) and unwraps envelope responses;
+// interleaved OpEpochDelta pushes are absorbed into the cached epoch
+// rather than treated as the response.
 func (r *RemoteShard) roundTrip(cc *clientConn, op Op, payload []byte, timeout time.Duration) (respPayload []byte, okConn bool, err error) {
 	if err := cc.c.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, false, fmt.Errorf("transport: set deadline: %w", err)
 	}
+	wireOp, body := op, payload
+	if cc.compress && len(payload) >= CompressMin {
+		cc.env = AppendDeflate(cc.env[:0], op, payload)
+		if len(cc.env) < len(payload) {
+			wireOp, body = OpDeflate, cc.env
+		}
+	}
 	cc.out = cc.out[:0]
-	cc.out = binary.BigEndian.AppendUint32(cc.out, uint32(1+len(payload)))
-	cc.out = append(cc.out, byte(op))
-	cc.out = append(cc.out, payload...)
+	cc.out = binary.BigEndian.AppendUint32(cc.out, uint32(1+len(body)))
+	cc.out = append(cc.out, byte(wireOp))
+	cc.out = append(cc.out, body...)
 	if _, err := cc.c.Write(cc.out); err != nil {
 		return nil, false, fmt.Errorf("transport: write %s: %w", r.addr, err)
 	}
-	respOp, resp, buf, err := ReadFrame(cc.br, cc.in)
-	cc.in = buf
-	if err != nil {
-		return nil, false, fmt.Errorf("transport: read %s: %w", r.addr, err)
-	}
-	switch respOp {
-	case op:
-		return resp, true, nil
-	case OpError:
-		return nil, true, fmt.Errorf("transport: %s: server error: %s", r.addr, resp)
-	default:
-		return nil, false, fmt.Errorf("transport: %s: op 0x%02x in response to 0x%02x", r.addr, byte(respOp), byte(op))
+	for {
+		respOp, resp, buf, err := ReadFrame(cc.br, cc.in)
+		cc.in = buf
+		if err != nil {
+			return nil, false, fmt.Errorf("transport: read %s: %w", r.addr, err)
+		}
+		if respOp == OpEpochDelta {
+			er, _, err := ConsumeEpochResp(resp)
+			if err != nil {
+				return nil, false, fmt.Errorf("transport: %s: bad epoch push: %w", r.addr, err)
+			}
+			r.noteEpoch(er.Epoch)
+			continue
+		}
+		if respOp == OpDeflate {
+			respOp, cc.dec, err = ConsumeDeflate(cc.dec, resp)
+			if err != nil {
+				return nil, false, fmt.Errorf("transport: %s: %w", r.addr, err)
+			}
+			resp = cc.dec
+		}
+		switch respOp {
+		case op:
+			return resp, true, nil
+		case OpError:
+			return nil, true, fmt.Errorf("transport: %s: server error: %s", r.addr, resp)
+		default:
+			return nil, false, fmt.Errorf("transport: %s: op 0x%02x in response to 0x%02x", r.addr, byte(respOp), byte(op))
+		}
 	}
 }
 
@@ -297,7 +405,7 @@ func (r *RemoteShard) Handshake(shardIdx, numShards, users, baseTweets int) erro
 // Info fetches the server's partition description.
 func (r *RemoteShard) Info() (InfoResp, error) {
 	var info InfoResp
-	err := r.do(OpInfo, nil, r.cfg.Timeout, true, func(resp []byte) error {
+	err := r.do(OpInfo, AppendInfoReq(nil, r.features()), r.cfg.Timeout, true, func(resp []byte) error {
 		var err error
 		info, _, err = ConsumeInfoResp(resp)
 		return err
@@ -338,6 +446,52 @@ func (r *RemoteShard) Search(terms []string, extended bool, raw []expertise.RawC
 		return raw[:0], 0, nil, err
 	}
 	return sr.Rows, sr.Matched, &remoteView{r: r, cc: cc}, nil
+}
+
+// SearchStats implements shard.SearchStatser: the whole search→stats
+// conversation in one OpSearchStats round trip. The response carries
+// the shard's candidate rows plus the denominator triples for those
+// same candidates, read from one snapshot server-side — on a
+// single-shard deployment that is the entire query, one frame each
+// way. On a multi-shard one the returned View still works for the
+// coordinator's top-up OpStats (foreign candidates' denominators)
+// against the pinned snapshot.
+func (r *RemoteShard) SearchStats(terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) ([]expertise.RawCandidate, int, []expertise.UserStats, shard.View, error) {
+	cc, err := r.checkout()
+	if err != nil {
+		return raw[:0], 0, stats[:0], nil, err
+	}
+	payload := AppendSearchReq(nil, SearchReq{Extended: extended, Terms: terms})
+	resp, okConn, err := r.roundTrip(cc, OpSearchStats, payload, r.cfg.Timeout)
+	if err != nil && !okConn && cc.pooled {
+		cc.c.Close()
+		if cc, err = r.dialConn(); err != nil {
+			return raw[:0], 0, stats[:0], nil, err
+		}
+		resp, okConn, err = r.roundTrip(cc, OpSearchStats, payload, r.cfg.Timeout)
+	}
+	if err != nil {
+		if okConn {
+			r.release(cc)
+		} else {
+			cc.c.Close()
+		}
+		return raw[:0], 0, stats[:0], nil, err
+	}
+	sr, _, err := ConsumeSearchStatsResp(raw, stats, resp)
+	if err != nil {
+		cc.c.Close()
+		return raw[:0], 0, stats[:0], nil, err
+	}
+	v := &remoteView{r: r, cc: cc}
+	r.mu.Lock()
+	if r.expect != nil && r.expect.NumShards == 1 {
+		// A single-shard server does not pin after a composite (there
+		// is nothing to top up), so the release needs no OpUnpin.
+		v.pinCleared = true
+	}
+	r.mu.Unlock()
+	return sr.Rows, sr.Matched, sr.Stats, v, nil
 }
 
 // remoteView is the client end of a pinned search→stats conversation:
@@ -382,22 +536,33 @@ func (v *remoteView) Stats(users []world.UserID, dst []expertise.UserStats) ([]e
 }
 
 // Release implements shard.View: a healthy connection returns to the
-// pool, a broken one closes. A view released without a stats fetch (the
-// query produced no candidates anywhere) first clears the server-side
-// snapshot pin with one cheap probe — otherwise an idle pooled
-// connection would retain a retired snapshot server-side indefinitely.
+// pool, a broken one closes. A view released while the server still
+// pins a snapshot first clears that pin with one fire-and-forget
+// OpUnpin write (no response, no round trip) — otherwise an idle
+// pooled connection would retain a retired snapshot server-side
+// indefinitely.
 func (v *remoteView) Release() {
 	if v.broken {
 		v.cc.c.Close()
 		return
 	}
 	if !v.pinCleared {
-		if _, _, err := v.r.roundTrip(v.cc, OpEpoch, nil, v.r.cfg.Timeout); err != nil {
+		if err := v.r.writeFrame(v.cc, OpUnpin, nil); err != nil {
 			v.cc.c.Close()
 			return
 		}
 	}
 	v.r.release(v.cc)
+}
+
+// writeFrame writes one frame with no response expected (OpUnpin).
+func (r *RemoteShard) writeFrame(cc *clientConn, op Op, payload []byte) error {
+	if err := cc.c.SetDeadline(time.Now().Add(r.cfg.Timeout)); err != nil {
+		return err
+	}
+	cc.out = AppendFrame(cc.out[:0], op, payload)
+	_, err := cc.c.Write(cc.out)
+	return err
 }
 
 // Ingest implements shard.Backend with a one-post OpIngest frame.
@@ -429,8 +594,34 @@ func (r *RemoteShard) IngestBatch(posts []microblog.Post) error {
 	return nil
 }
 
-// Epoch implements shard.Backend with one OpEpoch probe.
+// noteEpoch folds a server-reported epoch into the cached one,
+// monotonically: epochs only grow within one server incarnation (a
+// restart is a hard failure via the incarnation pin, never a silent
+// regression), so the max of everything observed — pushes, acks,
+// probe and quiesce responses — is always the freshest view.
+func (r *RemoteShard) noteEpoch(e uint64) {
+	for {
+		cur := r.subEpoch.Load()
+		if e <= cur || r.subEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Epoch implements shard.Backend. While an epoch-push subscription is
+// live this is a memory read — zero round trips, which is what turns
+// the serve cache's per-request epoch-vector sample into nanoseconds.
+// Cold (or after a subscription lapse) it subscribes first, paying one
+// round trip that buys every future sample; with NoSubscribe it is the
+// classic one-RTT OpEpoch probe.
 func (r *RemoteShard) Epoch() (uint64, error) {
+	if r.subOn.Load() {
+		return r.subEpoch.Load(), nil
+	}
+	if !r.cfg.NoSubscribe {
+		return r.subscribe()
+	}
+	r.epochRTTs.Add(1)
 	var epoch uint64
 	err := r.do(OpEpoch, nil, r.cfg.Timeout, true, func(resp []byte) error {
 		er, _, err := ConsumeEpochResp(resp)
@@ -440,12 +631,97 @@ func (r *RemoteShard) Epoch() (uint64, error) {
 	return epoch, err
 }
 
+// subscribe establishes the epoch-push subscription: it dedicates one
+// connection (from the pool or freshly dialed), sends OpSubscribe, and
+// hands the connection to a reader goroutine that mirrors every pushed
+// delta into the atomic epoch. Concurrent callers coalesce on subMu —
+// the losers see subOn and read the fresh cache.
+func (r *RemoteShard) subscribe() (uint64, error) {
+	r.subMu.Lock()
+	defer r.subMu.Unlock()
+	if r.subOn.Load() {
+		return r.subEpoch.Load(), nil
+	}
+	cc, err := r.checkout()
+	if err != nil {
+		return 0, err
+	}
+	r.epochRTTs.Add(1)
+	resp, okConn, err := r.roundTrip(cc, OpSubscribe, nil, r.cfg.Timeout)
+	if err != nil && !okConn && cc.pooled {
+		// Stale pooled connection — same retry-once-on-fresh-dial rule
+		// as every idempotent request.
+		cc.c.Close()
+		if cc, err = r.dialConn(); err != nil {
+			return 0, err
+		}
+		resp, okConn, err = r.roundTrip(cc, OpSubscribe, nil, r.cfg.Timeout)
+	}
+	if err != nil {
+		if okConn {
+			r.release(cc)
+		} else {
+			cc.c.Close()
+		}
+		return 0, err
+	}
+	er, _, err := ConsumeEpochResp(resp)
+	if err != nil {
+		cc.c.Close()
+		return 0, err
+	}
+	// The subscription reader owns the connection from here on; clear
+	// the round-trip deadline so an idle (no publishes) subscription
+	// does not time itself out.
+	if err := cc.c.SetDeadline(time.Time{}); err != nil {
+		cc.c.Close()
+		return 0, err
+	}
+	r.noteEpoch(er.Epoch)
+	r.subConn = cc
+	r.subOn.Store(true)
+	go r.subLoop(cc)
+	return r.subEpoch.Load(), nil
+}
+
+// subLoop is the subscription's dedicated reader: it blocks on the
+// connection and mirrors every OpEpochDelta into the atomic epoch.
+// Any read error or protocol surprise ends the subscription — subOn
+// flips off first, so samplers fall back to probing (and re-subscribe
+// through the dial budget) rather than trusting a frozen cache.
+func (r *RemoteShard) subLoop(cc *clientConn) {
+	for {
+		op, payload, buf, err := ReadFrame(cc.br, cc.in)
+		cc.in = buf
+		if err == nil && op == OpEpochDelta {
+			var er EpochResp
+			if er, _, err = ConsumeEpochResp(payload); err == nil {
+				r.noteEpoch(er.Epoch)
+				continue
+			}
+		}
+		r.subOn.Store(false)
+		r.subMu.Lock()
+		if r.subConn == cc {
+			r.subConn = nil
+		}
+		r.subMu.Unlock()
+		cc.c.Close()
+		return
+	}
+}
+
 // Quiesce implements shard.Backend: the server drains its eligible
 // compactions before answering, so this round trip gets the longer
-// QuiesceTimeout.
+// QuiesceTimeout. The post-quiesce epoch folds into the push cache, so
+// a quiesce-then-sample sequence observes it even if the corresponding
+// push is still in flight.
 func (r *RemoteShard) Quiesce() error {
 	return r.do(OpQuiesce, nil, r.cfg.QuiesceTimeout, true, func(resp []byte) error {
-		_, _, err := ConsumeEpochResp(resp)
+		er, _, err := ConsumeEpochResp(resp)
+		if err == nil {
+			r.noteEpoch(er.Epoch)
+		}
 		return err
 	})
 }
@@ -502,5 +778,12 @@ func (r *RemoteShard) Close() error {
 	for _, cc := range idle {
 		cc.c.Close()
 	}
+	// Closing the subscription connection unblocks its reader, which
+	// flips subOn off and forgets the connection.
+	r.subMu.Lock()
+	if r.subConn != nil {
+		r.subConn.c.Close()
+	}
+	r.subMu.Unlock()
 	return nil
 }

@@ -52,6 +52,11 @@ func TestReconnectAfterStaleConn(t *testing.T) {
 	d := fault.NewDialer()
 	cfg := testClientConfig()
 	cfg.Dial = d.Dial
+	// Probe mode: this test pins the pooled-connection retry-once path,
+	// which a push subscription would bypass (the sub conn caches the
+	// epoch). The subscription's own lapse/recovery is pinned by
+	// TestSubscriptionLapseResubscribes.
+	cfg.NoSubscribe = true
 	c := transport.NewRemoteShard(addr, cfg)
 	defer c.Close()
 
@@ -329,6 +334,10 @@ func TestWritesAreNeverRetried(t *testing.T) {
 	d := fault.NewDialer()
 	cfg := testClientConfig()
 	cfg.Dial = d.Dial
+	// Probe mode: with a subscription the first Epoch dedicates its
+	// connection to the push reader and the pool stays empty, so the
+	// killed-pooled-conn write below would never see a stale conn.
+	cfg.NoSubscribe = true
 	c := transport.NewRemoteShard(addr, cfg)
 	defer c.Close()
 
@@ -390,11 +399,21 @@ func TestRestartedServerIsRejected(t *testing.T) {
 	srv2 := transport.Serve(ln2, idx2, transport.DefaultServerConfig(0, 1))
 	defer srv2.Close()
 
-	// The pooled connection is dead; the retry path dials the impostor
-	// and the per-dial handshake must reject it.
-	_, err = c.Epoch()
-	if err == nil {
-		t.Fatal("client silently reconnected to a restarted server")
+	// The pooled/subscribed connection is dead; the next dial reaches
+	// the impostor and the per-dial handshake must reject it. The
+	// subscription lapse is asynchronous (its reader must observe the
+	// close), so poll briefly: the cached epoch may answer until the
+	// lapse lands, but the first *error* must be the incarnation check.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err = c.Epoch()
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client silently reconnected to a restarted server")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	if !strings.Contains(err.Error(), "restarted") {
 		t.Fatalf("want an incarnation/restart error, got: %v", err)

@@ -24,20 +24,35 @@
 //
 // Conversation state. A connection is a sequential request/response
 // stream with exactly one piece of server-side state: the snapshot the
-// last OpSearch pinned. A following OpStats on the same connection is
-// answered from that pinned snapshot, which is what keeps one query's
-// numerators and denominators reading the same immutable view across
-// two round trips — the same per-query consistency the in-process path
-// gets from holding a snapshot pointer. RemoteShard checks a
-// connection out of its pool for the whole search→stats conversation,
-// so concurrent queries never interleave on one connection.
+// last OpSearch or OpSearchStats pinned. A following OpStats on the
+// same connection is answered from that pinned snapshot, which is what
+// keeps one query's numerators and denominators reading the same
+// immutable view — the same per-query consistency the in-process path
+// gets from holding a snapshot pointer. OpSearchStats collapses the
+// whole conversation into one round trip for the shard's own
+// candidates; the pin survives only for the optional top-up OpStats a
+// multi-shard coordinator issues for foreign candidates, and OpUnpin
+// drops it without a response when no top-up comes. RemoteShard checks
+// a connection out of its pool for the whole conversation, so
+// concurrent queries never interleave on one connection.
+//
+// Pushes. A connection that sent OpSubscribe additionally receives
+// server-initiated OpEpochDelta frames whenever the index publishes a
+// new snapshot. Pushes are coalesced (at most one write in flight per
+// connection, always carrying the latest epoch) and serialized with
+// response writes, so the stream stays framed; a client reading for a
+// response absorbs any interleaved deltas. RemoteShard dedicates one
+// pooled connection to its subscription and mirrors the pushed epoch
+// into an atomic, which is what turns Cluster.EpochVector sampling
+// into a memory read on warm connections.
 //
 // Failure policy is fail-fast: the client applies one deadline per
 // round trip, retries once only when a pooled (possibly stale)
 // connection dies before ever answering, and otherwise surfaces the
 // error to the scatter-gather coordinator, which degrades to partial
 // results and counts the event (core.ShardedLiveDetector.PartialStats,
-// surfaced through serve.Stats).
+// surfaced through serve.Stats). Reconnects are additionally gated by
+// a shard.Health dial budget so a flapping server cannot stack dials.
 package transport
 
 import (
@@ -80,9 +95,46 @@ const (
 	// OpTweets pages the shard's post log (TweetsReq → TweetsResp); the
 	// cold-rebuild equivalence checks fetch ingested content with it.
 	OpTweets Op = 0x07
+	// OpSubscribe enrolls the connection for server→client epoch pushes
+	// (empty request → EpochResp with the epoch the subscription starts
+	// from). After the ack, the server interleaves OpEpochDelta frames
+	// into the response stream whenever the index publishes.
+	OpSubscribe Op = 0x08
+	// OpEpochDelta is a server-initiated push (EpochResp payload, no
+	// request): the subscribed shard's new absolute snapshot epoch.
+	// Pushes are coalesced — one pusher per connection sends the latest
+	// epoch, never a backlog.
+	OpEpochDelta Op = 0x09
+	// OpSearchStats is the composite query op (SearchReq →
+	// SearchStatsResp): search plus denominator stats for the matched
+	// candidates, executed server-side against one snapshot and answered
+	// in one frame. On a multi-shard deployment the snapshot stays
+	// pinned for the top-up OpStats fetching foreign candidates'
+	// denominators; a single-shard server has no foreign candidates and
+	// skips the pin.
+	OpSearchStats Op = 0x0a
+	// OpUnpin is fire-and-forget (empty payload, no response): it
+	// releases the connection's pinned snapshot without costing a round
+	// trip. Unpinning an unpinned connection is a no-op.
+	OpUnpin Op = 0x0b
+	// OpDeflate is a compression envelope, not a message of its own: its
+	// payload is the inner op byte, the inflated payload length as a
+	// uvarint, and the flate stream of the inner payload. Either side
+	// may send it once OpInfo negotiation establishes both support it;
+	// every receiver decodes it unconditionally. Envelopes never nest.
+	OpDeflate Op = 0x10
 	// OpError is a response-only op whose payload is an error string.
 	OpError Op = 0x7f
 )
+
+// FeatureCompress is the OpInfo-negotiated feature bit for OpDeflate
+// frame compression. A client advertises its feature bits as a uvarint
+// in the (previously empty) OpInfo request payload; the server reports
+// its own in InfoResp.Features and records the intersection for the
+// connection. Compression gates only sending — decoding OpDeflate is
+// unconditional — so an empty request payload (an old client) simply
+// yields an uncompressed connection.
+const FeatureCompress uint64 = 1 << 0
 
 // ErrFrameTooLarge reports a length prefix exceeding MaxFrame.
 var ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrame")

@@ -52,6 +52,21 @@ func seedFrames() [][]byte {
 			transport.AppendTweetsReq(nil, transport.TweetsReq{From: 2500, Max: 128})),
 		transport.AppendFrame(nil, transport.OpTweets,
 			transport.AppendTweetsResp(nil, transport.TweetsResp{Total: 2700, Posts: posts})),
+		transport.AppendFrame(nil, transport.OpSubscribe, nil),
+		transport.AppendFrame(nil, transport.OpSubscribe,
+			transport.AppendEpochResp(nil, transport.EpochResp{Epoch: 41})),
+		transport.AppendFrame(nil, transport.OpEpochDelta,
+			transport.AppendEpochResp(nil, transport.EpochResp{Epoch: 42})),
+		transport.AppendFrame(nil, transport.OpSearchStats,
+			transport.AppendSearchReq(nil, transport.SearchReq{Terms: []string{"49ers"}})),
+		transport.AppendFrame(nil, transport.OpSearchStats,
+			transport.AppendSearchStatsResp(nil, transport.SearchStatsResp{Matched: 12, Rows: rows, Stats: stats})),
+		transport.AppendFrame(nil, transport.OpUnpin, nil),
+		transport.AppendFrame(nil, transport.OpInfo,
+			transport.AppendInfoReq(nil, transport.FeatureCompress)),
+		transport.AppendFrame(nil, transport.OpDeflate,
+			transport.AppendDeflate(nil, transport.OpTweets,
+				transport.AppendTweetsResp(nil, transport.TweetsResp{Total: 2700, Posts: posts}))),
 	)
 	return frames
 }
@@ -127,6 +142,31 @@ func FuzzDecodeFrame(f *testing.F) {
 			again, _, err := transport.ConsumeInfoResp(transport.AppendInfoResp(nil, info))
 			if err != nil || again != info {
 				t.Fatalf("info round trip: %+v vs %+v (%v)", again, info, err)
+			}
+		}
+		if resp, _, err := transport.ConsumeSearchStatsResp(nil, nil, payload); err == nil {
+			enc := transport.AppendSearchStatsResp(nil, resp)
+			again, _, err := transport.ConsumeSearchStatsResp(nil, nil, enc)
+			if err != nil || again.Matched != resp.Matched || len(again.Rows) != len(resp.Rows) || len(again.Stats) != len(resp.Stats) {
+				t.Fatalf("search+stats resp round trip: %+v vs %+v (%v)", again, resp, err)
+			}
+			for i := range resp.Rows {
+				if again.Rows[i] != resp.Rows[i] || again.Stats[i] != resp.Stats[i] {
+					t.Fatalf("search+stats row %d round trip", i)
+				}
+			}
+		}
+		if feats, _, err := transport.ConsumeInfoReq(payload); err == nil {
+			again, _, err := transport.ConsumeInfoReq(transport.AppendInfoReq(nil, feats))
+			if err != nil || again != feats {
+				t.Fatalf("info req round trip: %d vs %d (%v)", again, feats, err)
+			}
+		}
+		if inner, body, err := transport.ConsumeDeflate(nil, payload); err == nil {
+			enc := transport.AppendDeflate(nil, inner, body)
+			innerAgain, bodyAgain, err := transport.ConsumeDeflate(nil, enc)
+			if err != nil || innerAgain != inner || !bytes.Equal(bodyAgain, body) {
+				t.Fatalf("deflate round trip: op %v vs %v, %d bytes vs %d (%v)", innerAgain, inner, len(bodyAgain), len(body), err)
 			}
 		}
 		if ids, _, err := expertise.ConsumeUserIDs(nil, payload); err == nil && len(ids) > 0 {

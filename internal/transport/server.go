@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/expertise"
 	"repro/internal/ingest"
@@ -14,6 +16,14 @@ import (
 	"repro/internal/shard"
 	"repro/internal/world"
 )
+
+// serverFeatures is what this server offers in OpInfo negotiation.
+const serverFeatures = FeatureCompress
+
+// pushWriteTimeout bounds one OpEpochDelta write: a subscriber that
+// cannot absorb a 3-byte frame in this long is dead or wedged, and the
+// pusher drops the connection rather than block on it.
+const pushWriteTimeout = 5 * time.Second
 
 // newIncarnation draws the per-lifetime random server identity.
 func newIncarnation() uint64 {
@@ -62,9 +72,24 @@ type ShardServer struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
+	// reqs counts request frames by op (after any OpDeflate unwrap);
+	// pushes counts OpEpochDelta frames sent. They exist so tests can
+	// hold the round-trip accounting to exact numbers: a warm composite
+	// query is one OpSearchStats and nothing else, epoch sampling on a
+	// subscribed connection is zero OpEpoch.
+	reqs   [128]atomic.Int64
+	pushes atomic.Int64
+
 	acceptWG sync.WaitGroup
 	connWG   sync.WaitGroup
 }
+
+// Requests returns how many request frames of op the server has
+// dispatched since it started.
+func (s *ShardServer) Requests(op Op) int64 { return s.reqs[op&0x7f].Load() }
+
+// Pushes returns how many OpEpochDelta frames the server has pushed.
+func (s *ShardServer) Pushes() int64 { return s.pushes.Load() }
 
 // Serve starts serving idx on ln in background goroutines and returns
 // immediately. Close stops accepting, closes every open connection and
@@ -157,18 +182,34 @@ func (s *ShardServer) forget(conn net.Conn) {
 }
 
 // connState is the per-connection request-handling state: buffered IO,
-// reusable frame/payload buffers, and the one piece of protocol state —
-// the view the last OpSearch pinned, which a following OpStats reads so
-// both halves of a query observe the same snapshot.
+// reusable frame/payload buffers, and the protocol state — the view
+// the last OpSearch/OpSearchStats pinned (which a following OpStats
+// reads so both halves of a query observe the same snapshot), the
+// negotiated feature bits, and the subscription pusher's controls.
 type connState struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	in   []byte // frame read buffer
 	out  []byte // response build buffer
+	dec  []byte // OpDeflate request inflate buffer
+	env  []byte // OpDeflate response envelope buffer (guarded by wmu)
 	rows []expertise.RawCandidate
 	stat []expertise.UserStats
 	uids []world.UserID
 	view shard.View
+
+	// wmu serializes every frame write on bw: responses from the
+	// handler loop and pushes from the connection's pusher goroutine.
+	wmu sync.Mutex
+	// features holds the negotiated feature bits (atomic: the handler
+	// stores on OpInfo while the pusher loads per push).
+	features atomic.Uint64
+	// subscribed, stop and subEpoch exist once OpSubscribe succeeds:
+	// stop ends the pusher when the handler exits, subEpoch is the
+	// epoch the subscription ack reported (the pusher's baseline).
+	subscribed bool
+	stop       chan struct{}
+	subEpoch   uint64
 }
 
 // handle runs one connection's sequential request loop until the peer
@@ -182,6 +223,9 @@ func (s *ShardServer) handle(conn net.Conn) {
 		bw: bufio.NewWriter(conn),
 	}
 	defer func() {
+		if st.stop != nil {
+			close(st.stop)
+		}
 		if st.view != nil {
 			st.view.Release()
 			st.view = nil
@@ -197,31 +241,116 @@ func (s *ShardServer) handle(conn net.Conn) {
 			// in-stream to an unsynchronized peer would corrupt it).
 			return
 		}
+		if op == OpDeflate {
+			// An undecodable envelope means the stream can no longer be
+			// trusted byte-for-byte; drop the connection like any other
+			// framing failure.
+			op, st.dec, err = ConsumeDeflate(st.dec, payload)
+			if err != nil {
+				return
+			}
+			payload = st.dec
+		}
+		s.reqs[op&0x7f].Add(1)
 		st.out = st.out[:0]
 		respOp, respErr := s.dispatch(st, op, payload)
-		if op != OpSearch && st.view != nil {
+		if op != OpSearch && op != OpSearchStats && st.view != nil {
 			// The pin exists solely for the one OpStats that may
-			// immediately follow an OpSearch; any other op ends that
+			// immediately follow a search op; any other op ends that
 			// conversation, so drop it rather than let an idle pooled
 			// connection retain a retired snapshot (and its segments)
 			// server-side indefinitely.
 			st.view.Release()
 			st.view = nil
 		}
+		if respOp == opNone && respErr == nil {
+			// Fire-and-forget op (OpUnpin): nothing goes back.
+			continue
+		}
 		if respErr != nil {
 			st.out = append(st.out[:0], respErr.Error()...)
 			respOp = OpError
 		}
-		var hdr [headerLen + 1]byte
-		binary.BigEndian.PutUint32(hdr[:headerLen], uint32(1+len(st.out)))
-		hdr[headerLen] = byte(respOp)
-		if _, err := st.bw.Write(hdr[:]); err != nil {
+		if err := s.writeResp(st, respOp, st.out); err != nil {
 			return
 		}
-		if _, err := st.bw.Write(st.out); err != nil {
-			return
+		if op == OpSubscribe && respErr == nil && !st.subscribed {
+			// Start pushing only after the ack is on the wire, so the
+			// client's first frame after OpSubscribe is its response.
+			st.subscribed = true
+			st.stop = make(chan struct{})
+			s.connWG.Add(1)
+			go s.pushLoop(conn, st, st.subEpoch)
 		}
-		if err := st.bw.Flush(); err != nil {
+	}
+}
+
+// opNone is dispatch's "write no response" sentinel (fire-and-forget
+// requests). It is the deliberately invalid zero op.
+const opNone Op = 0
+
+// writeResp writes one response frame under the connection's write
+// mutex, compressing it into an OpDeflate envelope when negotiation
+// allows and it actually helps.
+func (s *ShardServer) writeResp(st *connState, op Op, payload []byte) error {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	return writeFrameLocked(st, op, payload)
+}
+
+// writeFrameLocked frames, optionally compresses, writes and flushes.
+// Callers hold st.wmu.
+func writeFrameLocked(st *connState, op Op, payload []byte) error {
+	wireOp, body := op, payload
+	if st.features.Load()&FeatureCompress != 0 && len(payload) >= CompressMin && op != OpError {
+		st.env = AppendDeflate(st.env[:0], op, payload)
+		if len(st.env) < len(payload) {
+			wireOp, body = OpDeflate, st.env
+		}
+	}
+	var hdr [headerLen + 1]byte
+	binary.BigEndian.PutUint32(hdr[:headerLen], uint32(1+len(body)))
+	hdr[headerLen] = byte(wireOp)
+	if _, err := st.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := st.bw.Write(body); err != nil {
+		return err
+	}
+	return st.bw.Flush()
+}
+
+// pushLoop is the per-subscribed-connection pusher: it sleeps on the
+// index's publish channel and writes one OpEpochDelta with the latest
+// epoch per wakeup. Being a single goroutine per connection is what
+// coalesces pushes — while one write is in flight no other push can
+// start, and the next one reads whatever epoch is current by then, so
+// a burst of publishes costs one frame, never a backlog.
+func (s *ShardServer) pushLoop(conn net.Conn, st *connState, last uint64) {
+	defer s.connWG.Done()
+	var payload []byte
+	for {
+		// Grab the watch channel before reading the epoch: a publish
+		// racing these two lines either bumped the epoch read below or
+		// closes the channel held here — a wakeup cannot be lost.
+		ch := s.idx.Watch()
+		if cur := s.idx.Epoch(); cur != last {
+			payload = AppendEpochResp(payload[:0], EpochResp{Epoch: cur})
+			st.wmu.Lock()
+			conn.SetWriteDeadline(time.Now().Add(pushWriteTimeout))
+			err := writeFrameLocked(st, OpEpochDelta, payload)
+			conn.SetWriteDeadline(time.Time{})
+			st.wmu.Unlock()
+			if err != nil {
+				conn.Close()
+				return
+			}
+			s.pushes.Add(1)
+			last = cur
+		}
+		select {
+		case <-ch:
+		case <-st.stop:
 			return
 		}
 	}
@@ -251,6 +380,55 @@ func (s *ShardServer) dispatch(st *connState, op Op, payload []byte) (Op, error)
 		st.view = view
 		st.out = AppendSearchResp(st.out, SearchResp{Matched: matched, Rows: st.rows})
 		return OpSearch, nil
+
+	case OpSearchStats:
+		req, _, err := ConsumeSearchReq(payload)
+		if err != nil {
+			return 0, err
+		}
+		if st.view != nil {
+			st.view.Release()
+			st.view = nil
+		}
+		var matched int
+		var view shard.View
+		st.rows, matched, view, err = s.local.Search(req.Terms, req.Extended, st.rows)
+		if err != nil {
+			return 0, err
+		}
+		st.uids = st.uids[:0]
+		for i := range st.rows {
+			st.uids = append(st.uids, st.rows[i].User)
+		}
+		st.stat, err = view.Stats(st.uids, st.stat)
+		if err != nil {
+			view.Release()
+			return 0, err
+		}
+		if s.cfg.NumShards > 1 {
+			// A multi-shard coordinator may top up foreign candidates'
+			// denominators with an OpStats next; keep the snapshot
+			// pinned for it. A single-shard deployment has no foreign
+			// candidates, so skip the pin and let the client skip the
+			// OpUnpin too — that is what makes the healthy N=1 query
+			// exactly one frame each way.
+			st.view = view
+		} else {
+			view.Release()
+		}
+		st.out = AppendSearchStatsResp(st.out, SearchStatsResp{Matched: matched, Rows: st.rows, Stats: st.stat})
+		return OpSearchStats, nil
+
+	case OpUnpin:
+		// Fire-and-forget: the handler loop's post-dispatch release
+		// already drops any pin; there is nothing to answer.
+		return opNone, nil
+
+	case OpSubscribe:
+		e := s.idx.Epoch()
+		st.subEpoch = e
+		st.out = AppendEpochResp(st.out, EpochResp{Epoch: e})
+		return OpSubscribe, nil
 
 	case OpStats:
 		var err error
@@ -298,6 +476,11 @@ func (s *ShardServer) dispatch(st *connState, op Op, payload []byte) (Op, error)
 		return OpQuiesce, nil
 
 	case OpInfo:
+		feats, _, err := ConsumeInfoReq(payload)
+		if err != nil {
+			return 0, err
+		}
+		st.features.Store(feats & serverFeatures)
 		snap := s.idx.Snapshot()
 		st.out = AppendInfoResp(st.out, InfoResp{
 			Shard:       s.cfg.Shard,
@@ -307,6 +490,7 @@ func (s *ShardServer) dispatch(st *connState, op Op, payload []byte) (Op, error)
 			NumTweets:   snap.NumTweets(),
 			Epoch:       snap.Epoch(),
 			Incarnation: s.incarnation,
+			Features:    serverFeatures,
 		})
 		return OpInfo, nil
 

@@ -386,6 +386,17 @@ func TestConnectionReuse(t *testing.T) {
 	p, _ := testPipeline(t)
 	clients := startShardServers(t, p, 1, ingest.DefaultConfig())
 	c := clients[0]
+	// One warmup round first: the first Epoch dedicates a connection to
+	// the push subscription, so steady state is two live connections
+	// (subscription + query). After the warmup, dials must stay flat.
+	if _, err := c.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, v, err := c.Search([]string{"49ers"}, false, nil); err != nil {
+		t.Fatal(err)
+	} else {
+		v.Release()
+	}
 	dialsAfterHandshake := c.Dials()
 	for i := 0; i < 10; i++ {
 		if _, err := c.Epoch(); err != nil {

@@ -92,6 +92,53 @@ func ConsumeSearchResp(rows []expertise.RawCandidate, buf []byte) (SearchResp, [
 	return resp, buf, nil
 }
 
+// SearchStatsResp is the OpSearchStats response: one frame carrying
+// both halves of the query conversation — the shard's matched-union
+// size and candidate rows (ascending by user, exactly as OpSearch
+// returns them) plus the denominator triples for those same
+// candidates, positionally aligned with Rows and read from the same
+// snapshot. Foreign candidates' denominators are not here; a
+// multi-shard coordinator tops them up with an OpStats against the
+// still-pinned snapshot.
+type SearchStatsResp struct {
+	Matched int
+	Rows    []expertise.RawCandidate
+	Stats   []expertise.UserStats
+}
+
+// AppendSearchStatsResp appends the encoded response to buf.
+func AppendSearchStatsResp(buf []byte, resp SearchStatsResp) []byte {
+	buf = binary.AppendUvarint(buf, uint64(resp.Matched))
+	buf = expertise.AppendRawCandidates(buf, resp.Rows)
+	return expertise.AppendUserStats(buf, resp.Stats)
+}
+
+// ConsumeSearchStatsResp decodes a SearchStatsResp off the front of
+// buf, appending into rows and stats (capacity reused, contents
+// discarded). The stats list must be exactly as long as the row list —
+// anything else means the peer broke the alignment the accumulation
+// step trusts, and is rejected here rather than mis-summed there.
+func ConsumeSearchStatsResp(rows []expertise.RawCandidate, stats []expertise.UserStats, buf []byte) (SearchStatsResp, []byte, error) {
+	var resp SearchStatsResp
+	m, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return resp, buf, fmt.Errorf("search+stats resp matched: %w", err)
+	}
+	resp.Matched = int(m)
+	resp.Rows, buf, err = expertise.ConsumeRawCandidates(rows, buf)
+	if err != nil {
+		return resp, buf, fmt.Errorf("search+stats resp rows: %w", err)
+	}
+	resp.Stats, buf, err = expertise.ConsumeUserStats(stats, buf)
+	if err != nil {
+		return resp, buf, fmt.Errorf("search+stats resp stats: %w", err)
+	}
+	if len(resp.Stats) != len(resp.Rows) {
+		return resp, buf, fmt.Errorf("search+stats resp: %d stats for %d rows", len(resp.Stats), len(resp.Rows))
+	}
+	return resp, buf, nil
+}
+
 // IngestReq is the OpIngest payload: a batch of routed posts.
 type IngestReq struct {
 	Posts []microblog.Post
@@ -194,6 +241,31 @@ type InfoResp struct {
 	// as a different (empty-again) shard rather than silently reconnected
 	// to — its epoch has regressed and its ingested content is gone.
 	Incarnation uint64
+	// Features is the server's supported feature bits (FeatureCompress).
+	// It rides as an optional trailing field: absent on old servers, in
+	// which case it decodes as zero and the connection runs without
+	// optional features.
+	Features uint64
+}
+
+// AppendInfoReq appends the encoded OpInfo request payload: the
+// client's feature bits. An empty payload (the pre-negotiation
+// protocol) means no features.
+func AppendInfoReq(buf []byte, features uint64) []byte {
+	return binary.AppendUvarint(buf, features)
+}
+
+// ConsumeInfoReq decodes the OpInfo request payload; empty means zero
+// features.
+func ConsumeInfoReq(buf []byte) (uint64, []byte, error) {
+	if len(buf) == 0 {
+		return 0, buf, nil
+	}
+	f, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return 0, buf, fmt.Errorf("info req features: %w", err)
+	}
+	return f, buf, nil
 }
 
 // AppendInfoResp appends the encoded response to buf.
@@ -204,10 +276,13 @@ func AppendInfoResp(buf []byte, resp InfoResp) []byte {
 	buf = binary.AppendUvarint(buf, uint64(resp.BaseTweets))
 	buf = binary.AppendUvarint(buf, uint64(resp.NumTweets))
 	buf = binary.AppendUvarint(buf, resp.Epoch)
-	return binary.AppendUvarint(buf, resp.Incarnation)
+	buf = binary.AppendUvarint(buf, resp.Incarnation)
+	return binary.AppendUvarint(buf, resp.Features)
 }
 
-// ConsumeInfoResp decodes an InfoResp off the front of buf.
+// ConsumeInfoResp decodes an InfoResp off the front of buf. The
+// trailing Features field is optional for compatibility with payloads
+// that predate negotiation.
 func ConsumeInfoResp(buf []byte) (InfoResp, []byte, error) {
 	var fields [7]uint64
 	var err error
@@ -217,7 +292,7 @@ func ConsumeInfoResp(buf []byte) (InfoResp, []byte, error) {
 			return InfoResp{}, buf, fmt.Errorf("info resp: %w", err)
 		}
 	}
-	return InfoResp{
+	resp := InfoResp{
 		Shard:       int(fields[0]),
 		NumShards:   int(fields[1]),
 		Users:       int(fields[2]),
@@ -225,7 +300,14 @@ func ConsumeInfoResp(buf []byte) (InfoResp, []byte, error) {
 		NumTweets:   int(fields[4]),
 		Epoch:       fields[5],
 		Incarnation: fields[6],
-	}, buf, nil
+	}
+	if len(buf) > 0 {
+		resp.Features, buf, err = consumeUvarint(buf)
+		if err != nil {
+			return InfoResp{}, buf, fmt.Errorf("info resp features: %w", err)
+		}
+	}
+	return resp, buf, nil
 }
 
 // TweetsReq is the OpTweets payload: a page request over the shard's
