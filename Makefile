@@ -11,10 +11,11 @@ test:
 	$(GO) test ./...
 
 # The serving layer, the online detectors, the streaming index, the
-# sharded router, the wire transport and the replica sets are the
-# concurrent surfaces; hammer them with the race detector enabled.
+# sharded router, the wire transport, the replica sets and the metrics
+# registry are the concurrent surfaces; hammer them with the race
+# detector enabled.
 race:
-	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog ./internal/ingest ./internal/shard ./internal/transport ./internal/replica
+	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog ./internal/ingest ./internal/shard ./internal/transport ./internal/replica ./internal/obs
 
 vet:
 	$(GO) vet ./...
@@ -25,7 +26,7 @@ vet:
 docs-check: vet
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt -l found unformatted files:"; echo "$$fmtout"; exit 1; fi
-	$(GO) run ./cmd/docscheck ./internal/shard ./internal/core ./internal/transport ./internal/replica
+	$(GO) run ./cmd/docscheck ./internal/shard ./internal/core ./internal/transport ./internal/replica ./internal/obs
 
 # Hot-path and serving benchmarks; `make bench BENCH=.` runs everything
 # in the root package. Streaming benchmarks live in internal/ingest,
@@ -52,13 +53,14 @@ bench-replica:
 # and converts the output to benchstat-compatible JSON via
 # cmd/benchjson. BENCHN names the PR the snapshot belongs to, so
 # successive PRs leave comparable BENCH_<n>.json files behind.
-BENCHN ?= 6
+BENCHN ?= 7
 bench-json:
 	@{ $(GO) test -bench 'Table9|ServeQPS|OnlineSearch' -benchmem -run '^$$' . ; \
 	   $(GO) test -bench 'Ingest|LiveSearch' -benchmem -run '^$$' ./internal/ingest ; \
 	   $(GO) test -bench 'Sharded|EpochVector' -benchmem -run '^$$' ./internal/shard ; \
 	   $(GO) test -bench 'Remote|WireSearchCodec' -benchmem -run '^$$' ./internal/transport ; \
-	   $(GO) test -bench 'Replicated|Failover' -benchmem -run '^$$' ./internal/replica ; } \
+	   $(GO) test -bench 'Replicated|Failover' -benchmem -run '^$$' ./internal/replica ; \
+	   $(GO) test -bench 'Obs' -benchmem -run '^$$' ./internal/obs ; } \
 	 | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_$(BENCHN).json
 
 # A brief native-fuzz pass over the wire codec (FuzzDecodeFrame): every

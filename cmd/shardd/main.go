@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/transport"
 )
@@ -62,6 +63,7 @@ func run(args []string, out io.Writer, started chan<- *transport.ShardServer) er
 	numShards := fs.Int("of", 1, "total number of partitions in the deployment")
 	seal := fs.Int("seal", 128, "active-segment seal threshold")
 	fanIn := fs.Int("fanin", 4, "compaction fan-in")
+	admin := fs.String("admin", "", "optional host:port for the admin HTTP plane (/metrics, /healthz, /stats, /debug/pprof/)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,14 +78,33 @@ func run(args []string, out io.Writer, started chan<- *transport.ShardServer) er
 		return err
 	}
 	part := shard.Partition(pipeline.Corpus, *shardIdx, *numShards)
-	idx := ingest.New(part, ingest.Config{SealThreshold: *seal, CompactFanIn: *fanIn})
+	// One registry spans the process: the index's ingest accounting and
+	// the server's wire accounting land in the same /metrics namespace.
+	var reg *obs.Registry
+	if *admin != "" {
+		reg = obs.NewRegistry()
+	}
+	idx := ingest.New(part, ingest.Config{SealThreshold: *seal, CompactFanIn: *fanIn, Obs: reg})
 	defer idx.Close()
 
-	srv, err := transport.Listen(*addr, idx, transport.DefaultServerConfig(*shardIdx, *numShards))
+	scfg := transport.DefaultServerConfig(*shardIdx, *numShards)
+	scfg.Obs = reg
+	srv, err := transport.Listen(*addr, idx, scfg)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	if *admin != "" {
+		adm, err := obs.StartAdmin(*admin, obs.AdminConfig{
+			Registry: reg,
+			Stats:    func() any { return idx.Stats() },
+		})
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(out, "shardd: admin plane on http://%s (/metrics /healthz /stats /debug/pprof/)\n", adm.Addr())
+	}
 	fmt.Fprintf(out, "shardd: shard %d/%d on %s — %d base tweets (%d total in world), seal %d, fan-in %d\n",
 		*shardIdx, *numShards, srv.Addr(), part.NumTweets(), pipeline.Corpus.NumTweets(), *seal, *fanIn)
 	if started != nil {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -49,6 +52,87 @@ func TestRunServesAndStops(t *testing.T) {
 	if !strings.Contains(out.String(), "shard 0/2") {
 		t.Fatalf("banner missing: %q", out.String())
 	}
+}
+
+// TestRunAdminPlane boots a shardd with -admin, drives wire traffic,
+// and scrapes the admin endpoints: the ingest and RPC accounting of the
+// live process must be visible over plain HTTP.
+func TestRunAdminPlane(t *testing.T) {
+	started := make(chan *transport.ShardServer, 1)
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-admin", "127.0.0.1:0",
+			"-shard", "0", "-of", "1", "-seal", "8"}, &out, started)
+	}()
+	srv := <-started
+	defer func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	}()
+
+	// Both banners are written before started is signalled, so the
+	// admin address is parseable from out here.
+	m := regexp.MustCompile(`admin plane on (http://\S+)`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("admin banner missing: %q", out.String())
+	}
+	base := m[1]
+
+	// Drive one search so the RPC accounting moves.
+	c := transport.NewRemoteShard(srv.Addr().String(), transport.DefaultClientConfig())
+	defer c.Close()
+	if _, _, v, err := c.Search([]string{"49ers"}, false, nil); err != nil {
+		t.Fatal(err)
+	} else {
+		v.Release()
+	}
+
+	body := fetchOK(t, base+"/healthz")
+	if !strings.HasPrefix(body, "ok") {
+		t.Fatalf("/healthz = %q", body)
+	}
+	metrics := fetchOK(t, base+"/metrics")
+	for _, row := range []string{
+		"rpc_server_search_requests 1",
+		"rpc_server_search_ns_count 1",
+		"rpc_server_bytes_read ",
+		"ingest_posts 0",
+	} {
+		if !strings.Contains(metrics, row) {
+			t.Errorf("/metrics missing %q:\n%s", row, metrics)
+		}
+	}
+	stats := fetchOK(t, base+"/stats")
+	for _, key := range []string{`"stats"`, `"metrics"`, `"Segments"`} {
+		if !strings.Contains(stats, key) {
+			t.Errorf("/stats missing %s:\n%s", key, stats)
+		}
+	}
+	if pprof := fetchOK(t, base+"/debug/pprof/"); !strings.Contains(pprof, "goroutine") {
+		t.Errorf("/debug/pprof/ = %q", pprof)
+	}
+}
+
+// fetchOK GETs url and returns the body, failing on any error or
+// non-200 status.
+func fetchOK(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body)
 }
 
 // TestRunRejectsBadPartition pins the flag validation.

@@ -39,7 +39,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"runtime"
 	"strings"
 
@@ -49,6 +51,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/ingest"
 	"repro/internal/microblog"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/serve"
 	"repro/internal/shard"
@@ -72,10 +75,29 @@ func (s clusterSink) Ingest(p microblog.Post) microblog.TweetID {
 func (s clusterSink) World() *world.World { return s.c.World() }
 func (s clusterSink) Epoch() uint64       { return s.c.Epoch() }
 
+// fetchAdmin GETs one admin endpoint and returns its body, fatally
+// ending the smoke run on any transport or status failure.
+func fetchAdmin(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("admin smoke: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("admin smoke: read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("admin smoke: %s answered %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
 func main() {
 	shards := flag.Int("shards", 1, "number of author-partitioned shards (1 = single-node live index)")
 	replicas := flag.Int("replicas", 1, "replicas per shard (primary + followers; 1 = unreplicated)")
 	remote := flag.String("remote", "", "comma-separated shardd address groups, '|'-separated replicas within a group; scatter-gather over the wire (overrides -shards)")
+	admin := flag.String("admin", "", "optional host:port for the coordinator's admin HTTP plane (/metrics, /healthz, /stats, /debug/pprof/); the run smoke-checks it live")
 	flag.Parse()
 
 	pipeline, err := core.BuildPipeline(core.TinyPipelineConfig())
@@ -92,6 +114,16 @@ func main() {
 	online := pipeline.Cfg.Online
 	online.MatchWorkers = 1 // request-level concurrency supplies the parallelism
 	icfg := ingest.Config{SealThreshold: 128, CompactFanIn: 4}
+
+	// One registry spans the whole coordinator: detector spans, serving
+	// counters, client wire accounting and (for in-process topologies)
+	// ingest accounting all land in the same /metrics namespace.
+	var reg *obs.Registry
+	if *admin != "" {
+		reg = obs.NewRegistry()
+		online.Obs = reg
+		icfg.Obs = reg
+	}
 
 	// Wire the chosen topology: one streaming index, or a router over N
 	// of them. Both sides expose the same Backend + Sink surfaces, so
@@ -126,8 +158,10 @@ func main() {
 			// coordinator expects, over the identical deterministic base —
 			// a mismatched shardd (or replica) would silently break the
 			// equivalence check below, so fail here instead.
+			ccfg := transport.DefaultClientConfig()
+			ccfg.Obs = reg
 			reps, err := transport.DialReplicas(addrs, i, n,
-				len(pipeline.World.Users), partSize[i], transport.DefaultClientConfig())
+				len(pipeline.World.Users), partSize[i], ccfg)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -135,7 +169,9 @@ func main() {
 			if len(reps) == 1 {
 				backends[i] = reps[0]
 			} else {
-				set, err := replica.NewSet(reps, replica.DefaultConfig())
+				rcfg := replica.DefaultConfig()
+				rcfg.Obs = reg
+				set, err := replica.NewSet(reps, rcfg)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -187,7 +223,9 @@ func main() {
 				}
 				members[j] = shard.NewLocal(idx)
 			}
-			set, err := replica.NewSet(members, replica.DefaultConfig())
+			rcfg := replica.DefaultConfig()
+			rcfg.Obs = reg
+			set, err := replica.NewSet(members, rcfg)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -241,7 +279,23 @@ func main() {
 			return all
 		}
 	}
-	srv := serve.New(backend, serve.DefaultConfig())
+	scfg := serve.DefaultConfig()
+	scfg.Obs = reg
+	srv := serve.New(backend, scfg)
+	var adminURL string
+	if *admin != "" {
+		adm, err := obs.StartAdmin(*admin, obs.AdminConfig{
+			Registry: reg,
+			SlowLog:  srv.SlowLog(),
+			Stats:    func() any { return srv.Stats() },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer adm.Close()
+		adminURL = "http://" + adm.Addr().String()
+		fmt.Printf("admin plane on %s (/metrics /healthz /stats /debug/pprof/)\n", adminURL)
+	}
 
 	fmt.Printf("live index over %d base tweets, %d domains, %d shard(s) x %d replica(s); workload of %d distinct queries\n\n",
 		pipeline.Corpus.NumTweets(), pipeline.Collection.NumDomains(), *shards, *replicas, len(pool))
@@ -299,6 +353,30 @@ func main() {
 			log.Fatalf("epoch sampling fell off the push path: %d probe round trips during the mixed load",
 				rtts-epochRTTsWarm)
 		}
+	}
+
+	// Admin smoke: with -admin, the plane must answer live — /metrics
+	// carrying the serving rows the load just drove (and, over the wire,
+	// the client RPC rows), /stats as JSON, /healthz green.
+	if adminURL != "" {
+		metrics := fetchAdmin(adminURL + "/metrics")
+		for _, want := range []string{"serve_queries", "serve_request_ns_count"} {
+			if !strings.Contains(metrics, want) {
+				log.Fatalf("admin smoke: /metrics is missing %q:\n%s", want, metrics)
+			}
+		}
+		if remotePrimaries != nil && !strings.Contains(metrics, "rpc_client_search_stats_requests") {
+			log.Fatalf("admin smoke: /metrics is missing the client RPC rows:\n%s", metrics)
+		}
+		stats := fetchAdmin(adminURL + "/stats")
+		if !strings.Contains(stats, "\"metrics\"") || !strings.Contains(stats, "\"stats\"") {
+			log.Fatalf("admin smoke: /stats is missing sections:\n%s", stats)
+		}
+		if health := fetchAdmin(adminURL + "/healthz"); !strings.HasPrefix(health, "ok") {
+			log.Fatalf("admin smoke: /healthz answered %q", health)
+		}
+		fmt.Printf("admin smoke: /metrics (%d rows), /stats and /healthz answered live\n",
+			strings.Count(metrics, "\n"))
 	}
 
 	// Quiesce and verify: the live index — sharded or not — must agree

@@ -36,6 +36,7 @@ import (
 	"repro/internal/domains"
 	"repro/internal/expertise"
 	"repro/internal/microblog"
+	"repro/internal/obs"
 	"repro/internal/querylog"
 	"repro/internal/simgraph"
 	"repro/internal/world"
@@ -133,6 +134,14 @@ type OnlineConfig struct {
 	MatchWorkers int
 	// Expertise parameterizes the underlying Pal & Counts ranker.
 	Expertise expertise.Params
+	// Obs, when non-nil, attaches the detector to a metrics registry.
+	// ShardedLiveDetector then times each shard's scatter and gather
+	// phases into per-shard latency histograms, times the global
+	// merge/rank tail, and fills SearchTrace.Shards with per-query
+	// spans for the serving layer's slow-query log. Nil (the default)
+	// keeps the read path exactly as fast and allocation-free as
+	// un-instrumented — no clock reads, no span slices.
+	Obs *obs.Registry
 }
 
 // DefaultOnlineConfig returns the online defaults.
@@ -211,6 +220,12 @@ type SearchTrace struct {
 	// the Table 9 "Expansion" and "Detection" rows.
 	ExpandDuration time.Duration
 	SearchDuration time.Duration
+	// Shards holds per-shard scatter/gather spans and MergeRankNS the
+	// global merge+rank tail — filled only by ShardedLiveDetector, and
+	// only while OnlineConfig.Obs attaches a registry (the serving
+	// layer's slow-query log rides them). Nil/zero otherwise.
+	Shards      []obs.ShardSpan
+	MergeRankNS int64
 }
 
 // Search runs the full e# online stage: expansion, per-term matching

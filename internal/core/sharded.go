@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/domains"
 	"repro/internal/expertise"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/world"
 )
@@ -48,6 +50,17 @@ type ShardedLiveDetector struct {
 
 	partialQueries atomic.Int64
 	shardErrors    atomic.Int64
+
+	// Observability (nil without OnlineConfig.Obs): per-shard scatter
+	// and gather latency histograms, the global merge+rank histogram,
+	// and per-query span collection for the serving layer's slow log.
+	// All handles are pre-registered at construction so the query path
+	// records with plain atomic adds.
+	obsOn          bool
+	obsSearchNS    []*obs.Histogram
+	obsStatsNS     []*obs.Histogram
+	obsMergeRankNS *obs.Histogram
+	obsShardErrs   *obs.Counter
 }
 
 // shardSlot holds one shard's per-query state: the extracted raw rows,
@@ -65,6 +78,11 @@ type shardSlot struct {
 	topUsers  []world.UserID
 	composite bool
 	err       error
+	// searchNS and statsNS time this shard's scatter and gather phases
+	// for the current query — written only when the detector is
+	// instrumented (obsOn), stale otherwise.
+	searchNS int64
+	statsNS  int64
 }
 
 // shardedScratch is the pooled per-query state of the sharded online
@@ -107,6 +125,15 @@ func NewShardedLiveDetectorOver(coll *domains.Collection, c *shard.Cluster, cfg 
 	p := d.ranker.Params()
 	d.extended = p.WeightHT != 0 || p.WeightAV != 0 || p.WeightGI != 0
 	d.scratch.New = func() any { return &shardedScratch{} }
+	if cfg.Obs != nil {
+		d.obsOn = true
+		for i := 0; i < c.NumShards(); i++ {
+			d.obsSearchNS = append(d.obsSearchNS, cfg.Obs.Histogram(fmt.Sprintf("sharded_shard%d_search_ns", i)))
+			d.obsStatsNS = append(d.obsStatsNS, cfg.Obs.Histogram(fmt.Sprintf("sharded_shard%d_stats_ns", i)))
+		}
+		d.obsMergeRankNS = cfg.Obs.Histogram("sharded_merge_rank_ns")
+		d.obsShardErrs = cfg.Obs.Counter("sharded_shard_errors")
+	}
 	return d
 }
 
@@ -168,16 +195,18 @@ func (d *ShardedLiveDetector) Search(query string) ([]expertise.Expert, SearchTr
 	trace.ExpandDuration = time.Since(start)
 
 	start = time.Now()
-	results, matched := d.scatterGather(query, trace.Expansion)
+	results, matched, spans, mergeRank := d.scatterGather(query, trace.Expansion)
 	trace.MatchedTweets = matched
 	trace.SearchDuration = time.Since(start)
+	trace.Shards = spans
+	trace.MergeRankNS = mergeRank
 	return results, trace
 }
 
 // SearchBaseline runs the unexpanded Pal & Counts baseline scattered
 // across the shards.
 func (d *ShardedLiveDetector) SearchBaseline(query string) []expertise.Expert {
-	results, _ := d.scatterGather(query, nil)
+	results, _, _, _ := d.scatterGather(query, nil)
 	return results
 }
 
@@ -189,8 +218,12 @@ func (d *ShardedLiveDetector) SearchBaseline(query string) []expertise.Expert {
 // returns the ranked experts and the total matched-tweet count
 // (per-shard unions are disjoint — every post lives on exactly one
 // shard — so their sum is the size of the global union). A failing
-// shard is skipped fail-fast and counted in PartialStats.
-func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([]expertise.Expert, int) {
+// shard is skipped fail-fast and counted in PartialStats. On an
+// instrumented detector (obsOn) it additionally returns the per-shard
+// spans and the merge+rank nanoseconds, recording both into the
+// registry's histograms; un-instrumented, the two extras are nil/0 and
+// no clock is read.
+func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([]expertise.Expert, int, []obs.ShardSpan, int64) {
 	s := d.scratch.Get().(*shardedScratch)
 	n := d.cluster.NumShards()
 	for len(s.shards) < n {
@@ -212,6 +245,11 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 		sl := &s.shards[si]
 		sl.view = nil
 		sl.composite = false
+		sl.searchNS, sl.statsNS = 0, 0
+		var t0 time.Time
+		if d.obsOn {
+			t0 = time.Now()
+		}
 		b := d.cluster.Backend(si)
 		if ss, ok := b.(shard.SearchStatser); ok {
 			// Composite scatter: rows plus the shard's own candidates'
@@ -222,12 +260,20 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 			sl.raw, sl.matched, sl.ownStats, sl.view, sl.err =
 				ss.SearchStats(s.terms, d.extended, sl.raw, sl.ownStats)
 			sl.composite = sl.err == nil
-			return
+		} else {
+			sl.raw, sl.matched, sl.view, sl.err =
+				b.Search(s.terms, d.extended, sl.raw)
 		}
-		sl.raw, sl.matched, sl.view, sl.err =
-			b.Search(s.terms, d.extended, sl.raw)
+		if d.obsOn {
+			sl.searchNS = time.Since(t0).Nanoseconds()
+		}
 	})
 
+	var mergeRank int64
+	var tMerge time.Time
+	if d.obsOn {
+		tMerge = time.Now()
+	}
 	matched := 0
 	s.raws = s.raws[:0]
 	for si := 0; si < n; si++ {
@@ -249,11 +295,18 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 	for i := range s.merged {
 		s.users = append(s.users, s.merged[i].User)
 	}
+	if d.obsOn {
+		mergeRank += time.Since(tMerge).Nanoseconds()
+	}
 	if len(s.users) > 0 {
 		fanOut(n, min(n, workers), func(si int) {
 			sl := &s.shards[si]
 			if sl.err != nil {
 				return
+			}
+			if d.obsOn {
+				t0 := time.Now()
+				defer func() { sl.statsNS = time.Since(t0).Nanoseconds() }()
 			}
 			if !sl.composite {
 				sl.stats, sl.err = sl.view.Stats(s.users, sl.stats)
@@ -272,9 +325,16 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 			sl.stats, sl.err = sl.view.Stats(sl.topUsers, sl.stats)
 		})
 	}
+	if d.obsOn {
+		tMerge = time.Now()
+	}
 	s.denoms = s.denoms[:0]
 	for range s.users {
 		s.denoms = append(s.denoms, expertise.UserStats{})
+	}
+	var spans []obs.ShardSpan
+	if d.obsOn {
+		spans = make([]obs.ShardSpan, 0, n)
 	}
 	// failed counts shards missing from the result: a scatter failure
 	// contributes nothing at all; a shard that searched fine but failed
@@ -286,6 +346,21 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 		if sl.view != nil {
 			sl.view.Release()
 			sl.view = nil
+		}
+		if d.obsOn {
+			sp := obs.ShardSpan{Shard: si, SearchNS: sl.searchNS, StatsNS: sl.statsNS}
+			if sl.err != nil {
+				sp.Err = sl.err.Error()
+				d.obsShardErrs.Inc()
+			} else {
+				sp.Matched = sl.matched
+				sp.Rows = len(sl.raw)
+			}
+			spans = append(spans, sp)
+			d.obsSearchNS[si].Observe(sl.searchNS)
+			if sl.statsNS > 0 {
+				d.obsStatsNS[si].Observe(sl.statsNS)
+			}
 		}
 		if sl.err != nil {
 			sl.err = nil
@@ -312,12 +387,16 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 
 	s.cands = d.ranker.FinalizeRaw(s.cands, s.merged, s.denoms, d.cluster.World())
 	results := d.ranker.Rank(s.cands)
+	if d.obsOn {
+		mergeRank += time.Since(tMerge).Nanoseconds()
+		d.obsMergeRankNS.Observe(mergeRank)
+	}
 	d.scratch.Put(s)
 	if failed > 0 {
 		d.partialQueries.Add(1)
 		d.shardErrors.Add(int64(failed))
 	}
-	return results, matched
+	return results, matched, spans, mergeRank
 }
 
 // missingUsers appends to dst every user in all that rows does not

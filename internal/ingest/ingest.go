@@ -36,8 +36,10 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/microblog"
+	"repro/internal/obs"
 	"repro/internal/world"
 )
 
@@ -53,6 +55,12 @@ type Config struct {
 	// tests and benchmarks that want to observe fragmented state). An
 	// explicit Quiesce still compacts.
 	DisableCompactor bool
+	// Obs, when non-nil, attaches the index to a metrics registry:
+	// ingest latency (ingest_ns), accepted posts (ingest_posts), seal
+	// and compaction counts (ingest_seals, ingest_compactions) and the
+	// live sealed-segment gauge (ingest_segments). Nil keeps the write
+	// path exactly as fast and allocation-free as un-instrumented.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the streaming defaults.
@@ -99,6 +107,15 @@ type Index struct {
 	done       chan struct{}
 	closeOnce  sync.Once
 	wg         sync.WaitGroup
+
+	// Pre-registered observability handles (nil without Config.Obs —
+	// every record below is then a nil-check no-op, and the latency
+	// clock is not even read).
+	obsIngestNS    *obs.Histogram
+	obsPosts       *obs.Counter
+	obsSeals       *obs.Counter
+	obsCompactions *obs.Counter
+	obsSegments    *obs.Gauge
 }
 
 // New wires a streaming index over a frozen base corpus (which may be
@@ -118,6 +135,13 @@ func New(base *microblog.Corpus, cfg Config) *Index {
 		activeStart: microblog.TweetID(base.NumTweets()),
 		compactReq:  make(chan struct{}, 1),
 		done:        make(chan struct{}),
+	}
+	if cfg.Obs != nil {
+		i.obsIngestNS = cfg.Obs.Histogram("ingest_ns")
+		i.obsPosts = cfg.Obs.Counter("ingest_posts")
+		i.obsSeals = cfg.Obs.Counter("ingest_seals")
+		i.obsCompactions = cfg.Obs.Counter("ingest_compactions")
+		i.obsSegments = cfg.Obs.Gauge("ingest_segments")
 	}
 	w0 := make(chan struct{})
 	i.watch.Store(&w0)
@@ -140,6 +164,10 @@ func (i *Index) World() *world.World { return i.w }
 // Ingest appends one post to the stream and publishes a fresh snapshot.
 // It returns the post's global tweet id. Safe for concurrent use.
 func (i *Index) Ingest(p microblog.Post) microblog.TweetID {
+	var start time.Time
+	if i.obsIngestNS != nil {
+		start = time.Now()
+	}
 	tw := microblog.MakeTweet(p)
 	i.mu.Lock()
 	gid := i.activeStart + microblog.TweetID(len(i.active))
@@ -157,6 +185,10 @@ func (i *Index) Ingest(p microblog.Post) microblog.TweetID {
 	i.mu.Unlock()
 	if sealedNow {
 		i.kickCompactor()
+	}
+	if i.obsIngestNS != nil {
+		i.obsIngestNS.Observe(time.Since(start).Nanoseconds())
+		i.obsPosts.Inc()
 	}
 	return gid
 }
@@ -210,6 +242,7 @@ func (i *Index) sealLocked() {
 	i.activeStart += microblog.TweetID(len(i.active))
 	i.active = make([]microblog.Tweet, 0, i.cfg.SealThreshold)
 	i.seals++
+	i.obsSeals.Inc()
 }
 
 // publishLocked swaps in a fresh snapshot. The tail shares the active
@@ -239,6 +272,7 @@ func (i *Index) publishLocked() {
 		old := i.watch.Swap(&next)
 		close(*old)
 	}
+	i.obsSegments.Set(int64(len(i.sealed)))
 }
 
 // kickCompactor nudges the background compactor without blocking.
@@ -327,6 +361,7 @@ func (i *Index) compactOnce() bool {
 	}
 	i.sealed = append(i.sealed[:a:a], append([]*segment{merged}, i.sealed[a+len(run):]...)...)
 	i.compactions++
+	i.obsCompactions.Inc()
 	i.publishLocked()
 	return true
 }

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// AdminConfig wires an admin HTTP surface over one registry.
+type AdminConfig struct {
+	// Registry backs /metrics and the "metrics" section of /stats. Nil
+	// serves an empty metric set (the endpoints still answer).
+	Registry *Registry
+	// SlowLog, when non-nil, adds the "slow_queries" section to /stats.
+	SlowLog *SlowLog
+	// Health drives /healthz: nil means always healthy; a non-nil
+	// error flips the endpoint to 503 with the error text — a shard
+	// backend failing is exactly the state an orchestrator's probe
+	// should see.
+	Health func() error
+	// Stats, when non-nil, supplies the "stats" section of /stats —
+	// typically a serve.Stats or ingest.IndexStats snapshot; anything
+	// encoding/json can marshal.
+	Stats func() any
+}
+
+// NewAdminMux builds the admin endpoints on a fresh mux:
+//
+//	/metrics       flat text key-value dump of the registry
+//	/healthz       200 "ok" or 503 with the health error
+//	/stats         JSON: stats snapshot + registry snapshot + slow queries
+//	/debug/pprof/  the standard runtime profiles
+//
+// The mux is standalone (nothing registers on http.DefaultServeMux),
+// so two servers in one process — a shard's admin plane and a test's —
+// never collide.
+func NewAdminMux(cfg AdminConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(cfg.Registry.WriteMetrics(nil))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "unhealthy: %v\n", err)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		payload := struct {
+			Stats   any          `json:"stats,omitempty"`
+			Metrics []Metric     `json:"metrics"`
+			Slow    []QueryTrace `json:"slow_queries,omitempty"`
+		}{Metrics: cfg.Registry.Snapshot()}
+		if payload.Metrics == nil {
+			payload.Metrics = []Metric{}
+		}
+		if cfg.Stats != nil {
+			payload.Stats = cfg.Stats()
+		}
+		payload.Slow = cfg.SlowLog.Snapshot()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// AdminServer is one listening admin plane; Close stops it.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// StartAdmin binds addr (":0" picks a free port — read it back with
+// Addr) and serves the admin endpoints in a background goroutine until
+// Close.
+func StartAdmin(addr string, cfg AdminConfig) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	a := &AdminServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler: NewAdminMux(cfg),
+			// An admin plane must not let a stuck scraper pin goroutines;
+			// pprof's CPU profile endpoint needs headroom, so only reads
+			// are bounded tightly.
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go a.srv.Serve(ln)
+	return a, nil
+}
+
+// Addr returns the bound listen address.
+func (a *AdminServer) Addr() net.Addr { return a.ln.Addr() }
+
+// Close stops the listener and closes open admin connections.
+// Idempotent.
+func (a *AdminServer) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	return a.srv.Close()
+}

@@ -1,0 +1,44 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsRecord is the acceptance bar for the recording hot path:
+// Histogram.Observe must be a single atomic add — single-digit
+// nanoseconds, zero allocations.
+func BenchmarkObsRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+// BenchmarkObsRecordNil measures the un-instrumented path: a nil handle
+// must cost one predictable branch.
+func BenchmarkObsRecordNil(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+// BenchmarkObsCounterInc measures the counter path used by the
+// per-request accounting.
+func BenchmarkObsCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkObsSlowLogFast measures the fast-majority SlowLog path: a
+// trace below threshold takes one branch and no lock.
+func BenchmarkObsSlowLogFast(b *testing.B) {
+	l := NewSlowLog(64, 1<<40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Record(QueryTrace{TotalNS: int64(i & 1023)})
+	}
+}

@@ -60,6 +60,7 @@ import (
 
 	"repro/internal/expertise"
 	"repro/internal/microblog"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/world"
 )
@@ -76,6 +77,15 @@ type Config struct {
 	// Backoff tunes the per-replica failure windows (shard.Health).
 	// Zero fields take shard.DefaultBackoff.
 	Backoff shard.Backoff
+	// Obs, when non-nil, exports the set's failure accounting into the
+	// registry: replica_failovers, replica_ejections (followers dropped
+	// from the read set by a missed write), replica_backoff_skips
+	// (reads that bypassed a replica inside its failure window without
+	// dialing) and replica_primary_write_failures. Handles are
+	// get-or-create by name, so every Set sharing one registry — one
+	// per shard in a replicated cluster — aggregates into the same
+	// rows. Nil costs the read path nothing.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the replication defaults.
@@ -107,6 +117,14 @@ type Set struct {
 	rr        atomic.Uint64 // read rotation cursor
 	failovers atomic.Int64
 	reads     []atomic.Int64 // per-replica served searches
+
+	// Observability (nil without Config.Obs; all handles nil-safe):
+	// cluster-wide failure accounting, aggregated across Sets sharing a
+	// registry.
+	obsFailovers        *obs.Counter
+	obsEjections        *obs.Counter
+	obsBackoffSkips     *obs.Counter
+	obsPrimaryWriteFail *obs.Counter
 }
 
 // Set must satisfy the same interface a plain shard does — that is
@@ -134,6 +152,12 @@ func NewSet(replicas []shard.Backend, cfg Config) (*Set, error) {
 	}
 	for i := range s.health {
 		s.health[i] = shard.NewHealth(cfg.Backoff)
+	}
+	if cfg.Obs != nil {
+		s.obsFailovers = cfg.Obs.Counter("replica_failovers")
+		s.obsEjections = cfg.Obs.Counter("replica_ejections")
+		s.obsBackoffSkips = cfg.Obs.Counter("replica_backoff_skips")
+		s.obsPrimaryWriteFail = cfg.Obs.Counter("replica_primary_write_failures")
 	}
 	return s, nil
 }
@@ -181,6 +205,9 @@ func (s *Set) failedPrimaryWrite(n int) {
 	s.health[0].Fail()
 	s.applied[0].Add(uint64(n))
 	s.epoch.Add(uint64(n))
+	s.obsPrimaryWriteFail.Inc()
+	// The epoch advance ejects every follower still in the read set.
+	s.obsEjections.Add(int64(len(s.replicas) - 1))
 }
 
 // Ingest implements shard.Backend: the write goes to the primary — a
@@ -208,6 +235,7 @@ func (s *Set) Ingest(p microblog.Post) (microblog.TweetID, error) {
 		}
 		if _, err := s.replicas[i].Ingest(p); err != nil {
 			s.health[i].Fail()
+			s.obsEjections.Inc()
 			continue // ejected: applied[i] stays behind epoch for good
 		}
 		s.applied[i].Add(1)
@@ -241,6 +269,7 @@ func (s *Set) IngestBatch(posts []microblog.Post) error {
 		}
 		if err := s.replicas[i].IngestBatch(posts); err != nil {
 			s.health[i].Fail()
+			s.obsEjections.Inc()
 			continue
 		}
 		s.applied[i].Add(uint64(len(posts)))
@@ -274,6 +303,7 @@ func (s *Set) Search(terms []string, extended bool, raw []expertise.RawCandidate
 			continue
 		}
 		if !s.health[i].Allow() {
+			s.obsBackoffSkips.Inc()
 			continue
 		}
 		rows, matched, v, err := s.replicas[i].Search(terms, extended, raw)
@@ -282,6 +312,7 @@ func (s *Set) Search(terms []string, extended bool, raw []expertise.RawCandidate
 			s.reads[i].Add(1)
 			if tried > 0 {
 				s.failovers.Add(1)
+				s.obsFailovers.Inc()
 			}
 			return rows, matched, v, nil
 		}
@@ -316,6 +347,7 @@ func (s *Set) SearchStats(terms []string, extended bool, raw []expertise.RawCand
 			continue
 		}
 		if !s.health[i].Allow() {
+			s.obsBackoffSkips.Inc()
 			continue
 		}
 		rows, matched, rowStats, v, err := replicaSearchStats(s.replicas[i], terms, extended, raw, stats)
@@ -324,6 +356,7 @@ func (s *Set) SearchStats(terms []string, extended bool, raw []expertise.RawCand
 			s.reads[i].Add(1)
 			if tried > 0 {
 				s.failovers.Add(1)
+				s.obsFailovers.Inc()
 			}
 			return rows, matched, rowStats, v, nil
 		}

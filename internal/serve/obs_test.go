@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// obsRow finds one row in a registry snapshot; missing rows fail the
+// test.
+func obsRow(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	for _, m := range reg.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %q not in registry snapshot", name)
+	return 0
+}
+
+// TestServerObsTracesAndMetrics drives an instrumented server over an
+// instrumented sharded backend and checks the whole observability
+// story: outcome labels, the request-latency histogram, per-shard
+// spans in the slow log, and — the must-not-perturb bar — results
+// identical to an un-instrumented server.
+func TestServerObsTracesAndMetrics(t *testing.T) {
+	p := testPipeline(t)
+	r := shard.New(p.Corpus, shard.Config{Shards: 4, Ingest: ingest.DefaultConfig()})
+	defer r.Close()
+
+	reg := obs.NewRegistry()
+	online := p.Cfg.Online
+	online.Obs = reg
+	sharded := core.NewShardedLiveDetector(p.Collection, r, online)
+	s := New(sharded, Config{CacheSize: 4, Obs: reg, SlowLogSize: 8})
+
+	first := s.Search("49ers")
+	second := s.Search("49ers")
+	if !sameExperts(first, second) {
+		t.Fatal("cache hit diverged from the miss that filled it")
+	}
+	if got := obsRow(t, reg, "serve_queries"); got != 2 {
+		t.Errorf("serve_queries = %d, want 2", got)
+	}
+	if got := obsRow(t, reg, "serve_cache_hits"); got != 1 {
+		t.Errorf("serve_cache_hits = %d, want 1", got)
+	}
+	if got := obsRow(t, reg, "serve_cache_misses"); got != 1 {
+		t.Errorf("serve_cache_misses = %d, want 1", got)
+	}
+	if got := obsRow(t, reg, "serve_request_ns_count"); got != 2 {
+		t.Errorf("serve_request_ns_count = %d, want 2", got)
+	}
+	// The sharded detector's scatter-gather instrumentation moved too.
+	if got := obsRow(t, reg, "sharded_merge_rank_ns_count"); got != 1 {
+		t.Errorf("sharded_merge_rank_ns_count = %d, want 1 (one uncached search)", got)
+	}
+	for i := 0; i < 4; i++ {
+		name := "sharded_shard" + string(rune('0'+i)) + "_search_ns_count"
+		if got := obsRow(t, reg, name); got != 1 {
+			t.Errorf("%s = %d, want 1", name, got)
+		}
+	}
+
+	// SlowLog (zero threshold keeps everything): newest first, the hit
+	// then the miss; the miss carries the scatter-gather spans.
+	snap := s.SlowLog().Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("slow log kept %d traces, want 2: %+v", len(snap), snap)
+	}
+	hit, miss := snap[0], snap[1]
+	if hit.Outcome != obs.OutcomeHit || hit.Query != "49ers" || hit.Shards != nil {
+		t.Errorf("hit trace = %+v", hit)
+	}
+	if miss.Outcome != obs.OutcomeMiss || miss.Query != "49ers" {
+		t.Errorf("miss trace = %+v", miss)
+	}
+	if len(miss.Shards) != 4 {
+		t.Fatalf("miss trace has %d shard spans, want 4: %+v", len(miss.Shards), miss)
+	}
+	var matched int
+	for i, sp := range miss.Shards {
+		if sp.Shard != i {
+			t.Errorf("span %d labeled shard %d", i, sp.Shard)
+		}
+		if sp.SearchNS <= 0 {
+			t.Errorf("span %d has no scatter timing: %+v", i, sp)
+		}
+		if sp.Err != "" {
+			t.Errorf("span %d unexpectedly failed: %+v", i, sp)
+		}
+		matched += sp.Matched
+	}
+	if matched != miss.MatchedTweets {
+		t.Errorf("span matched sum %d != trace MatchedTweets %d", matched, miss.MatchedTweets)
+	}
+	if miss.MergeRankNS <= 0 || miss.TotalNS < miss.MergeRankNS {
+		t.Errorf("merge/rank timing inconsistent: %+v", miss)
+	}
+
+	// Instrumentation must not change rankings: an un-instrumented
+	// server over the same detector agrees bit for bit. (Run last —
+	// this search moves the shared detector's histograms.)
+	plain := New(sharded, Config{CacheSize: 4})
+	if want := plain.Search("49ers"); !sameExperts(first, want) {
+		t.Fatal("instrumented result diverged from un-instrumented server")
+	}
+}
+
+// TestServerObsBaselineAndThreshold checks the baseline label and that
+// a high threshold keeps the ring empty while counters still move.
+func TestServerObsBaselineAndThreshold(t *testing.T) {
+	p := testPipeline(t)
+	reg := obs.NewRegistry()
+	s := New(p.Detector, Config{CacheSize: 4, Obs: reg, SlowLogSize: 4, SlowLogThreshold: 1 << 40})
+
+	s.SearchBaseline("nfl")
+	if got := obsRow(t, reg, "serve_queries"); got != 1 {
+		t.Errorf("serve_queries = %d, want 1", got)
+	}
+	if got := obsRow(t, reg, "serve_request_ns_count"); got != 1 {
+		t.Errorf("serve_request_ns_count = %d, want 1", got)
+	}
+	if got := s.SlowLog().Snapshot(); len(got) != 0 {
+		t.Errorf("sub-threshold query landed in the slow log: %+v", got)
+	}
+	if s.SlowLog().Threshold() != 1<<40 {
+		t.Errorf("threshold = %v", s.SlowLog().Threshold())
+	}
+}
+
+// TestServerObsNilRegistry pins the zero-cost path: no registry, no
+// slow log, and the serving behavior is unchanged.
+func TestServerObsNilRegistry(t *testing.T) {
+	p := testPipeline(t)
+	s := New(p.Detector, DefaultConfig())
+	if s.SlowLog() != nil {
+		t.Fatal("un-instrumented server grew a slow log")
+	}
+	got := s.Search("nfl")
+	want, _ := p.Detector.Search("nfl")
+	if !sameExperts(got, want) {
+		t.Fatal("un-instrumented serve diverged from detector")
+	}
+}

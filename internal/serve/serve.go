@@ -43,9 +43,11 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/expertise"
+	"repro/internal/obs"
 	"repro/internal/textutil"
 )
 
@@ -107,6 +109,20 @@ type Config struct {
 	// both endpoints. Zero disables caching entirely (in-flight
 	// coalescing still applies).
 	CacheSize int
+	// Obs, when non-nil, attaches the server to a metrics registry: the
+	// request-latency histogram serve_request_ns, read-callback mirrors
+	// of every Stats counter (serve_queries, serve_cache_hits,
+	// serve_cache_misses, serve_coalesced, serve_invalidations,
+	// serve_uncacheable, serve_cache_entries), and a slow-query ring
+	// reachable through SlowLog. Nil keeps the request path free of
+	// clock reads and trace assembly — the counters in Stats are always
+	// maintained either way.
+	Obs *obs.Registry
+	// SlowLogSize bounds the slow-query ring (default 64 when Obs is
+	// set); SlowLogThreshold is the minimum end-to-end latency a kept
+	// trace has (zero keeps every request, useful in tests and demos).
+	SlowLogSize      int
+	SlowLogThreshold time.Duration
 }
 
 // DefaultConfig returns the serving defaults.
@@ -195,6 +211,14 @@ type Server struct {
 	coalesced, invalidations atomic.Int64
 	uncacheable              atomic.Int64
 
+	// Observability (nil without Config.Obs): end-to-end latency
+	// histogram and the slow-query ring. The Stats counters above are
+	// mirrored into the registry by read callbacks, so instrumentation
+	// adds no second accounting on the request path.
+	obsOn    bool
+	obsReqNS *obs.Histogram
+	slow     *obs.SlowLog
+
 	// mu guards the LRU structures and the in-flight table; detector
 	// calls run outside the lock.
 	mu       sync.Mutex
@@ -222,8 +246,35 @@ func New(b Backend, cfg Config) *Server {
 		s.order = list.New()
 		s.slots = make(map[cacheKey]*list.Element, cfg.CacheSize)
 	}
+	if cfg.Obs != nil {
+		s.obsOn = true
+		s.obsReqNS = cfg.Obs.Histogram("serve_request_ns")
+		size := cfg.SlowLogSize
+		if size <= 0 {
+			size = 64
+		}
+		s.slow = obs.NewSlowLog(size, cfg.SlowLogThreshold)
+		cfg.Obs.RegisterFunc("serve_queries", s.queries.Load)
+		cfg.Obs.RegisterFunc("serve_cache_hits", s.hits.Load)
+		cfg.Obs.RegisterFunc("serve_cache_misses", s.misses.Load)
+		cfg.Obs.RegisterFunc("serve_coalesced", s.coalesced.Load)
+		cfg.Obs.RegisterFunc("serve_invalidations", s.invalidations.Load)
+		cfg.Obs.RegisterFunc("serve_uncacheable", s.uncacheable.Load)
+		cfg.Obs.RegisterFunc("serve_cache_entries", func() int64 {
+			if s.slots == nil {
+				return 0
+			}
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(s.order.Len())
+		})
+	}
 	return s
 }
+
+// SlowLog returns the slow-query ring, nil when the server was built
+// without Config.Obs.
+func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
 
 // Backend returns the underlying query engine.
 func (s *Server) Backend() Backend { return s.backend }
@@ -241,8 +292,39 @@ func (s *Server) SearchBaseline(query string) []expertise.Expert {
 }
 
 func (s *Server) serve(query string, baseline bool) []expertise.Expert {
+	if !s.obsOn {
+		return s.serveTraced(query, baseline, nil)
+	}
+	// Instrumented path: time the request end to end, capture the
+	// outcome and (for misses against an instrumented sharded backend)
+	// the per-shard spans, and offer the trace to the slow-query ring.
+	qt := obs.QueryTrace{Baseline: baseline, Start: time.Now()}
+	var failovers0 int64
+	if s.failover != nil {
+		failovers0 = s.failover.Failovers()
+	}
+	start := time.Now()
+	experts := s.serveTraced(query, baseline, &qt)
+	qt.TotalNS = time.Since(start).Nanoseconds()
+	if s.failover != nil {
+		// Best-effort under concurrency: the delta of the backend's
+		// cumulative counter across this request.
+		qt.Failovers = s.failover.Failovers() - failovers0
+	}
+	s.obsReqNS.Observe(qt.TotalNS)
+	s.slow.Record(qt)
+	return experts
+}
+
+// serveTraced is the request path proper. qt, non-nil only on the
+// instrumented path, receives the normalized query, the cache outcome
+// and the detector-side trace fields.
+func (s *Server) serveTraced(query string, baseline bool, qt *obs.QueryTrace) []expertise.Expert {
 	s.queries.Add(1)
 	key := cacheKey{query: textutil.Normalize(query), baseline: baseline}
+	if qt != nil {
+		qt.Query = key.query
+	}
 	// Sample the view identity before any cache decision: for a vector
 	// backend the full per-shard vector (into a pooled buffer), for a
 	// scalar backend the single epoch.
@@ -276,6 +358,9 @@ func (s *Server) serve(query string, baseline bool) []expertise.Expert {
 		if experts, ok := s.lookupLocked(key, epoch, evec); ok {
 			s.mu.Unlock()
 			s.hits.Add(1)
+			if qt != nil {
+				qt.Outcome = obs.OutcomeHit
+			}
 			return experts
 		}
 	}
@@ -287,6 +372,9 @@ func (s *Server) serve(query string, baseline bool) []expertise.Expert {
 		f.wg.Wait()
 		s.hits.Add(1)
 		s.coalesced.Add(1)
+		if qt != nil {
+			qt.Outcome = obs.OutcomeCoalesced
+		}
 		return f.experts
 	}
 	f := &flight{}
@@ -312,10 +400,23 @@ func (s *Server) serve(query string, baseline bool) []expertise.Expert {
 		s.mu.Unlock()
 		f.wg.Done()
 	}()
+	if qt != nil {
+		if uncacheable {
+			qt.Outcome = obs.OutcomeUncacheable
+		} else {
+			qt.Outcome = obs.OutcomeMiss
+		}
+	}
 	if baseline {
 		f.experts = s.backend.SearchBaseline(key.query)
 	} else {
-		f.experts, _ = s.backend.Search(key.query)
+		var tr core.SearchTrace
+		f.experts, tr = s.backend.Search(key.query)
+		if qt != nil {
+			qt.MatchedTweets = tr.MatchedTweets
+			qt.MergeRankNS = tr.MergeRankNS
+			qt.Shards = tr.Shards
+		}
 	}
 	completed = true
 	return f.experts

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/expertise"
 	"repro/internal/microblog"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/world"
 )
@@ -45,6 +46,17 @@ type ClientConfig struct {
 	// NoCompress keeps this client from advertising FeatureCompress, so
 	// neither side sends OpDeflate envelopes on its connections.
 	NoCompress bool
+	// Obs, when non-nil, exports the client's wire accounting into the
+	// registry: per-op round-trip counters and latency histograms
+	// (rpc_client_<op>_requests, rpc_client_<op>_ns), byte counters
+	// (rpc_client_bytes_read, rpc_client_bytes_written),
+	// rpc_client_deflate_saved_bytes, rpc_client_dials and
+	// rpc_client_epoch_rtts. Handles are get-or-create by name, so every
+	// client sharing one registry aggregates into the same rows —
+	// cluster-wide client totals, with per-shard latency split already
+	// covered by the coordinator's sharded_shard<i>_* histograms. Nil
+	// adds no clock reads to the request path.
+	Obs *obs.Registry
 }
 
 // DefaultClientConfig returns the client defaults.
@@ -95,6 +107,19 @@ type RemoteShard struct {
 	// probes and OpSubscribe exchanges) — the number the push path
 	// drives to zero on warm connections.
 	epochRTTs atomic.Int64
+
+	// Observability (zero-valued without ClientConfig.Obs): per-op
+	// round-trip counters and latency histograms indexed by op byte,
+	// plus the wire byte counters. All handles are nil-safe, so the
+	// un-instrumented path pays nothing but the obsOn branch.
+	obsOn           bool
+	obsOpReqs       [128]*obs.Counter
+	obsOpNS         [128]*obs.Histogram
+	obsBytesR       *obs.Counter
+	obsBytesW       *obs.Counter
+	obsDeflateSaved *obs.Counter
+	obsDials        *obs.Counter
+	obsEpochRTTs    *obs.Counter
 }
 
 // clientConn is one pooled connection plus its reusable buffers.
@@ -132,7 +157,20 @@ func NewRemoteShard(addr string, cfg ClientConfig) *RemoteShard {
 	if cfg.IngestChunk <= 0 {
 		cfg.IngestChunk = 512
 	}
-	return &RemoteShard{addr: addr, cfg: cfg, health: shard.NewHealth(cfg.DialBackoff)}
+	r := &RemoteShard{addr: addr, cfg: cfg, health: shard.NewHealth(cfg.DialBackoff)}
+	if cfg.Obs != nil {
+		r.obsOn = true
+		for _, op := range requestOps {
+			r.obsOpReqs[op&0x7f] = cfg.Obs.Counter("rpc_client_" + op.Name() + "_requests")
+			r.obsOpNS[op&0x7f] = cfg.Obs.Histogram("rpc_client_" + op.Name() + "_ns")
+		}
+		r.obsBytesR = cfg.Obs.Counter("rpc_client_bytes_read")
+		r.obsBytesW = cfg.Obs.Counter("rpc_client_bytes_written")
+		r.obsDeflateSaved = cfg.Obs.Counter("rpc_client_deflate_saved_bytes")
+		r.obsDials = cfg.Obs.Counter("rpc_client_dials")
+		r.obsEpochRTTs = cfg.Obs.Counter("rpc_client_epoch_rtts")
+	}
+	return r
 }
 
 // Addr returns the server address this client dials.
@@ -200,6 +238,7 @@ func (r *RemoteShard) dialConn() (*clientConn, error) {
 		return nil, fmt.Errorf("transport: dial %s: %w", r.addr, err)
 	}
 	r.dials.Add(1)
+	r.obsDials.Add(1)
 	cc := &clientConn{c: c, br: bufio.NewReader(c)}
 	if err := r.negotiate(cc); err != nil {
 		r.health.Fail()
@@ -283,6 +322,13 @@ func (r *RemoteShard) negotiate(cc *clientConn) error {
 // interleaved OpEpochDelta pushes are absorbed into the cached epoch
 // rather than treated as the response.
 func (r *RemoteShard) roundTrip(cc *clientConn, op Op, payload []byte, timeout time.Duration) (respPayload []byte, okConn bool, err error) {
+	if r.obsOn {
+		// Count and time the whole round trip — write through response
+		// read — whatever exit path it takes.
+		r.obsOpReqs[op&0x7f].Add(1)
+		t0 := time.Now()
+		defer func() { r.obsOpNS[op&0x7f].Observe(time.Since(t0).Nanoseconds()) }()
+	}
 	if err := cc.c.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, false, fmt.Errorf("transport: set deadline: %w", err)
 	}
@@ -291,6 +337,7 @@ func (r *RemoteShard) roundTrip(cc *clientConn, op Op, payload []byte, timeout t
 		cc.env = AppendDeflate(cc.env[:0], op, payload)
 		if len(cc.env) < len(payload) {
 			wireOp, body = OpDeflate, cc.env
+			r.obsDeflateSaved.Add(int64(len(payload) - len(body)))
 		}
 	}
 	cc.out = cc.out[:0]
@@ -300,12 +347,14 @@ func (r *RemoteShard) roundTrip(cc *clientConn, op Op, payload []byte, timeout t
 	if _, err := cc.c.Write(cc.out); err != nil {
 		return nil, false, fmt.Errorf("transport: write %s: %w", r.addr, err)
 	}
+	r.obsBytesW.Add(int64(len(cc.out)))
 	for {
 		respOp, resp, buf, err := ReadFrame(cc.br, cc.in)
 		cc.in = buf
 		if err != nil {
 			return nil, false, fmt.Errorf("transport: read %s: %w", r.addr, err)
 		}
+		r.obsBytesR.Add(int64(headerLen + 1 + len(resp)))
 		if respOp == OpEpochDelta {
 			er, _, err := ConsumeEpochResp(resp)
 			if err != nil {
@@ -562,6 +611,10 @@ func (r *RemoteShard) writeFrame(cc *clientConn, op Op, payload []byte) error {
 	}
 	cc.out = AppendFrame(cc.out[:0], op, payload)
 	_, err := cc.c.Write(cc.out)
+	if err == nil {
+		r.obsOpReqs[op&0x7f].Add(1)
+		r.obsBytesW.Add(int64(len(cc.out)))
+	}
 	return err
 }
 
@@ -622,6 +675,7 @@ func (r *RemoteShard) Epoch() (uint64, error) {
 		return r.subscribe()
 	}
 	r.epochRTTs.Add(1)
+	r.obsEpochRTTs.Add(1)
 	var epoch uint64
 	err := r.do(OpEpoch, nil, r.cfg.Timeout, true, func(resp []byte) error {
 		er, _, err := ConsumeEpochResp(resp)
@@ -647,6 +701,7 @@ func (r *RemoteShard) subscribe() (uint64, error) {
 		return 0, err
 	}
 	r.epochRTTs.Add(1)
+	r.obsEpochRTTs.Add(1)
 	resp, okConn, err := r.roundTrip(cc, OpSubscribe, nil, r.cfg.Timeout)
 	if err != nil && !okConn && cc.pooled {
 		// Stale pooled connection — same retry-once-on-fresh-dial rule

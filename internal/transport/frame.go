@@ -127,6 +127,41 @@ const (
 	OpError Op = 0x7f
 )
 
+// Name returns the op's lowercase protocol name ("search",
+// "search_stats", ...), used to key per-op metrics; an op outside the
+// protocol formats as "op_0xNN".
+func (o Op) Name() string {
+	switch o {
+	case OpSearch:
+		return "search"
+	case OpStats:
+		return "stats"
+	case OpIngest:
+		return "ingest"
+	case OpEpoch:
+		return "epoch"
+	case OpQuiesce:
+		return "quiesce"
+	case OpInfo:
+		return "info"
+	case OpTweets:
+		return "tweets"
+	case OpSubscribe:
+		return "subscribe"
+	case OpEpochDelta:
+		return "epoch_delta"
+	case OpSearchStats:
+		return "search_stats"
+	case OpUnpin:
+		return "unpin"
+	case OpDeflate:
+		return "deflate"
+	case OpError:
+		return "error"
+	}
+	return fmt.Sprintf("op_0x%02x", byte(o))
+}
+
 // FeatureCompress is the OpInfo-negotiated feature bit for OpDeflate
 // frame compression. A client advertises its feature bits as a uvarint
 // in the (previously empty) OpInfo request payload; the server reports

@@ -1,0 +1,134 @@
+package transport_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ingest"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/transport"
+)
+
+// metricValue finds one row in a registry snapshot; missing rows fail
+// the test.
+func metricValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	for _, m := range reg.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %q not in registry snapshot", name)
+	return 0
+}
+
+// TestObsPromotesRequestCounters is the counter-promotion satellite:
+// the server's pre-existing per-op request counters (the accounting the
+// RPC tests assert on) must surface as registry rows without double
+// counting — the registry row and Requests(op) read the same atomic.
+func TestObsPromotesRequestCounters(t *testing.T) {
+	p, _ := testPipeline(t)
+	part := shard.Partition(p.Corpus, 0, 1)
+	idx := ingest.New(part, ingest.DefaultConfig())
+	defer idx.Close()
+
+	serverReg := obs.NewRegistry()
+	scfg := transport.DefaultServerConfig(0, 1)
+	scfg.Obs = serverReg
+	srv, err := transport.Listen("127.0.0.1:0", idx, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	clientReg := obs.NewRegistry()
+	ccfg := testClientConfig()
+	ccfg.Obs = clientReg
+	c := transport.NewRemoteShard(srv.Addr().String(), ccfg)
+	defer c.Close()
+	if err := c.Handshake(0, 1, len(p.World.Users), part.NumTweets()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive a few distinct ops so several per-op rows move.
+	for i := 0; i < 3; i++ {
+		if _, _, _, err := c.Search([]string{"storm"}, true, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, post := range streamPosts(p, 7, 2) {
+		if _, err := c.Ingest(post); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server side: every request op's registry row must equal the
+	// Requests(op) accounting — same atomic, promoted not duplicated.
+	for _, op := range []transport.Op{
+		transport.OpSearch, transport.OpStats, transport.OpIngest,
+		transport.OpEpoch, transport.OpQuiesce, transport.OpInfo,
+	} {
+		row := fmt.Sprintf("rpc_server_%s_requests", op.Name())
+		if got, want := metricValue(t, serverReg, row), srv.Requests(op); got != want {
+			t.Errorf("%s = %d, Requests(%s) = %d — promotion out of sync", row, got, op.Name(), want)
+		}
+	}
+	if got := metricValue(t, serverReg, "rpc_server_search_requests"); got != 3 {
+		t.Errorf("rpc_server_search_requests = %d, want 3", got)
+	}
+	if metricValue(t, serverReg, "rpc_server_bytes_read") <= 0 ||
+		metricValue(t, serverReg, "rpc_server_bytes_written") <= 0 {
+		t.Error("server byte accounting did not move")
+	}
+	if metricValue(t, serverReg, "rpc_server_search_ns_count") != 3 {
+		t.Error("server search latency histogram did not record 3 requests")
+	}
+
+	// Client side mirrors its own view of the same traffic.
+	if got := metricValue(t, clientReg, "rpc_client_search_requests"); got != 3 {
+		t.Errorf("rpc_client_search_requests = %d, want 3", got)
+	}
+	if got := metricValue(t, clientReg, "rpc_client_ingest_requests"); got != 2 {
+		t.Errorf("rpc_client_ingest_requests = %d, want 2", got)
+	}
+	if metricValue(t, clientReg, "rpc_client_bytes_read") <= 0 ||
+		metricValue(t, clientReg, "rpc_client_bytes_written") <= 0 {
+		t.Error("client byte accounting did not move")
+	}
+	if got, want := metricValue(t, clientReg, "rpc_client_dials"), c.Dials(); got != want {
+		t.Errorf("rpc_client_dials = %d, Dials() = %d", got, want)
+	}
+	if metricValue(t, clientReg, "rpc_client_search_ns_count") != 3 {
+		t.Error("client search latency histogram did not record 3 round trips")
+	}
+}
+
+// TestObsUninstrumentedServerStillCounts pins the fallback the promotion
+// must preserve: with no registry attached, Requests(op) keeps
+// counting — the RPC-accounting tests depend on it.
+func TestObsUninstrumentedServerStillCounts(t *testing.T) {
+	p, _ := testPipeline(t)
+	part := shard.Partition(p.Corpus, 0, 1)
+	idx := ingest.New(part, ingest.DefaultConfig())
+	defer idx.Close()
+	srv, err := transport.Listen("127.0.0.1:0", idx, transport.DefaultServerConfig(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := transport.NewRemoteShard(srv.Addr().String(), testClientConfig())
+	defer c.Close()
+	if err := c.Handshake(0, 1, len(p.World.Users), part.NumTweets()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Search([]string{"storm"}, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Requests(transport.OpSearch); got != 1 {
+		t.Fatalf("un-instrumented Requests(OpSearch) = %d, want 1", got)
+	}
+}

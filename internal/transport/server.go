@@ -13,6 +13,7 @@ import (
 	"repro/internal/expertise"
 	"repro/internal/ingest"
 	"repro/internal/microblog"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/world"
 )
@@ -44,6 +45,15 @@ type ServerConfig struct {
 	// MaxTweetsPage caps one OpTweets page regardless of what the
 	// request asks for, bounding response frames. Zero means 2048.
 	MaxTweetsPage int
+	// Obs, when non-nil, exports the server's wire accounting into the
+	// registry: per-op request counters (rpc_server_<op>_requests, read
+	// callbacks over the same atomics Requests reports), per-op
+	// dispatch-to-flush latency histograms (rpc_server_<op>_ns),
+	// rpc_server_pushes, byte counters (rpc_server_bytes_read,
+	// rpc_server_bytes_written) and rpc_server_deflate_saved_bytes —
+	// wire bytes compression avoided sending. Nil serves identically
+	// with no clock reads on the request loop.
+	Obs *obs.Registry
 }
 
 // DefaultServerConfig returns the serving defaults for shard i of n.
@@ -76,9 +86,18 @@ type ShardServer struct {
 	// pushes counts OpEpochDelta frames sent. They exist so tests can
 	// hold the round-trip accounting to exact numbers: a warm composite
 	// query is one OpSearchStats and nothing else, epoch sampling on a
-	// subscribed connection is zero OpEpoch.
+	// subscribed connection is zero OpEpoch. With ServerConfig.Obs the
+	// same atomics back the registry's rpc_server_<op>_requests rows
+	// through read callbacks — one accounting, two consumers.
 	reqs   [128]atomic.Int64
 	pushes atomic.Int64
+
+	// Observability (zero-valued without ServerConfig.Obs): per-op
+	// latency histograms indexed like reqs, and the wire byte counters.
+	obsOn                         bool
+	obsOpNS                       [128]*obs.Histogram
+	obsBytesRead, obsBytesWritten *obs.Counter
+	obsDeflateSaved               *obs.Counter
 
 	acceptWG sync.WaitGroup
 	connWG   sync.WaitGroup
@@ -106,9 +125,32 @@ func Serve(ln net.Listener, idx *ingest.Index, cfg ServerConfig) *ShardServer {
 		incarnation: newIncarnation(),
 		conns:       make(map[net.Conn]struct{}),
 	}
+	if cfg.Obs != nil {
+		s.obsOn = true
+		for _, op := range requestOps {
+			op := op
+			cfg.Obs.RegisterFunc("rpc_server_"+op.Name()+"_requests", func() int64 {
+				return s.reqs[op&0x7f].Load()
+			})
+			s.obsOpNS[op&0x7f] = cfg.Obs.Histogram("rpc_server_" + op.Name() + "_ns")
+		}
+		cfg.Obs.RegisterFunc("rpc_server_pushes", s.pushes.Load)
+		s.obsBytesRead = cfg.Obs.Counter("rpc_server_bytes_read")
+		s.obsBytesWritten = cfg.Obs.Counter("rpc_server_bytes_written")
+		s.obsDeflateSaved = cfg.Obs.Counter("rpc_server_deflate_saved_bytes")
+	}
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
 	return s
+}
+
+// requestOps is every op a client can legitimately send — the set the
+// server pre-registers per-op metrics for. OpEpochDelta (push-only),
+// OpDeflate (envelope, unwrapped before counting) and OpError
+// (response-only) are deliberately absent.
+var requestOps = []Op{
+	OpSearch, OpStats, OpIngest, OpEpoch, OpQuiesce, OpInfo,
+	OpTweets, OpSubscribe, OpSearchStats, OpUnpin,
 }
 
 // Listen is the one-call form of Serve: it binds addr (TCP; ":0" picks
@@ -201,6 +243,12 @@ type connState struct {
 	// wmu serializes every frame write on bw: responses from the
 	// handler loop and pushes from the connection's pusher goroutine.
 	wmu sync.Mutex
+	// obsBytesW and obsDeflateSaved are the server's wire-write
+	// counters, shared by the handler and the pusher (guarded by wmu
+	// like the writer itself); nil on an un-instrumented server, and
+	// nil-safe to add to either way.
+	obsBytesW       *obs.Counter
+	obsDeflateSaved *obs.Counter
 	// features holds the negotiated feature bits (atomic: the handler
 	// stores on OpInfo while the pusher loads per push).
 	features atomic.Uint64
@@ -219,8 +267,10 @@ func (s *ShardServer) handle(conn net.Conn) {
 	defer s.forget(conn)
 	defer conn.Close()
 	st := &connState{
-		br: bufio.NewReader(conn),
-		bw: bufio.NewWriter(conn),
+		br:              bufio.NewReader(conn),
+		bw:              bufio.NewWriter(conn),
+		obsBytesW:       s.obsBytesWritten,
+		obsDeflateSaved: s.obsDeflateSaved,
 	}
 	defer func() {
 		if st.stop != nil {
@@ -240,6 +290,11 @@ func (s *ShardServer) handle(conn net.Conn) {
 			// only safe move is to drop the connection (responding
 			// in-stream to an unsynchronized peer would corrupt it).
 			return
+		}
+		var t0 time.Time
+		if s.obsOn {
+			s.obsBytesRead.Add(int64(headerLen + 1 + len(payload)))
+			t0 = time.Now()
 		}
 		if op == OpDeflate {
 			// An undecodable envelope means the stream can no longer be
@@ -265,6 +320,9 @@ func (s *ShardServer) handle(conn net.Conn) {
 		}
 		if respOp == opNone && respErr == nil {
 			// Fire-and-forget op (OpUnpin): nothing goes back.
+			if s.obsOn {
+				s.obsOpNS[op&0x7f].Observe(time.Since(t0).Nanoseconds())
+			}
 			continue
 		}
 		if respErr != nil {
@@ -273,6 +331,12 @@ func (s *ShardServer) handle(conn net.Conn) {
 		}
 		if err := s.writeResp(st, respOp, st.out); err != nil {
 			return
+		}
+		if s.obsOn {
+			// Dispatch-to-flush: the server-side cost of the request,
+			// response serialization and write included. Nil-safe for op
+			// bytes outside the protocol (no histogram registered).
+			s.obsOpNS[op&0x7f].Observe(time.Since(t0).Nanoseconds())
 		}
 		if op == OpSubscribe && respErr == nil && !st.subscribed {
 			// Start pushing only after the ack is on the wire, so the
@@ -306,8 +370,10 @@ func writeFrameLocked(st *connState, op Op, payload []byte) error {
 		st.env = AppendDeflate(st.env[:0], op, payload)
 		if len(st.env) < len(payload) {
 			wireOp, body = OpDeflate, st.env
+			st.obsDeflateSaved.Add(int64(len(payload) - len(body)))
 		}
 	}
+	st.obsBytesW.Add(int64(headerLen + 1 + len(body)))
 	var hdr [headerLen + 1]byte
 	binary.BigEndian.PutUint32(hdr[:headerLen], uint32(1+len(body)))
 	hdr[headerLen] = byte(wireOp)
