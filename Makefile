@@ -41,7 +41,7 @@ bench-ingest:
 	$(GO) test -bench 'Ingest|LiveSearch' -benchmem -run '^$$' ./internal/ingest
 
 bench-shard:
-	$(GO) test -bench 'Sharded|EpochVector' -benchmem -run '^$$' ./internal/shard
+	$(GO) test -bench 'Sharded|EpochVector|Reshard' -benchmem -run '^$$' ./internal/shard
 
 bench-remote:
 	$(GO) test -bench 'Remote|WireSearchCodec' -benchmem -run '^$$' ./internal/transport
@@ -53,11 +53,11 @@ bench-replica:
 # and converts the output to benchstat-compatible JSON via
 # cmd/benchjson. BENCHN names the PR the snapshot belongs to, so
 # successive PRs leave comparable BENCH_<n>.json files behind.
-BENCHN ?= 7
+BENCHN ?= 8
 bench-json:
 	@{ $(GO) test -bench 'Table9|ServeQPS|OnlineSearch' -benchmem -run '^$$' . ; \
 	   $(GO) test -bench 'Ingest|LiveSearch' -benchmem -run '^$$' ./internal/ingest ; \
-	   $(GO) test -bench 'Sharded|EpochVector' -benchmem -run '^$$' ./internal/shard ; \
+	   $(GO) test -bench 'Sharded|EpochVector|Reshard' -benchmem -run '^$$' ./internal/shard ; \
 	   $(GO) test -bench 'Remote|WireSearchCodec' -benchmem -run '^$$' ./internal/transport ; \
 	   $(GO) test -bench 'Replicated|Failover' -benchmem -run '^$$' ./internal/replica ; \
 	   $(GO) test -bench 'Obs' -benchmem -run '^$$' ./internal/obs ; } \
@@ -65,9 +65,11 @@ bench-json:
 
 # A brief native-fuzz pass over the wire codec (FuzzDecodeFrame): every
 # op's payload decoder — including the PR 6 OpSearchStats composite,
-# OpSubscribe/OpEpochDelta acks and the OpDeflate envelope — must never
-# panic or over-allocate on adversarial input, and every successful
-# decode must round-trip. Raise FUZZTIME for longer local hunts.
+# OpSubscribe/OpEpochDelta acks, the OpDeflate envelope and the PR 8
+# resharding extensions (filtered OpTweets handoff pages, the
+# expectation-carrying OpInfo) — must never panic or over-allocate on
+# adversarial input, and every successful decode must round-trip.
+# Raise FUZZTIME for longer local hunts.
 FUZZTIME ?= 15s
 fuzz-smoke:
 	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)

@@ -29,6 +29,18 @@
 // The streaming example's final check then holds the whole deployment
 // to the usual bar: quiesced ranking over the wire must be
 // bit-identical to a cold single-process rebuild.
+//
+// Resharding an N-shardd deployment to M processes reuses the same
+// wire surface: a shard.Migration pages each old shard's post log over
+// OpTweets (the server filters by destination ownership, so only the
+// moving authors' posts cross the wire), catch-up rounds absorb writes
+// that land mid-drain, and the coordinator swaps its routing table
+// once source and destination epochs agree. Every client restates its
+// handshake-pinned -shard/-of coordinates on the per-connection OpInfo
+// exchange, and a shardd whose topology no longer matches refuses the
+// connection outright — after a reshard, a coordinator still wired for
+// the old N fails at connect instead of silently reading the wrong
+// partition.
 package main
 
 import (

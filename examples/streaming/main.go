@@ -34,6 +34,15 @@
 // same in every topology: the live index must agree with a cold
 // rebuild bit for bit, which for -remote means the wire — and for
 // replicated topologies the replication fan-out — is held to the bar.
+//
+// With -reshard the run goes one further: it starts on 2 in-process
+// shards and live-migrates to 4 *while the mixed load is running* — a
+// shard.Migration streams every moving author's post log across,
+// catch-up rounds absorb the writes that land mid-drain, and the
+// routing table swaps atomically once source and destination epochs
+// agree. Queries never pause, writes pause only for the final residue
+// pass, and the closing equivalence check runs against the 4-shard
+// deployment — the migration itself is held to the bit-identical bar.
 package main
 
 import (
@@ -98,6 +107,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "replicas per shard (primary + followers; 1 = unreplicated)")
 	remote := flag.String("remote", "", "comma-separated shardd address groups, '|'-separated replicas within a group; scatter-gather over the wire (overrides -shards)")
 	admin := flag.String("admin", "", "optional host:port for the coordinator's admin HTTP plane (/metrics, /healthz, /stats, /debug/pprof/); the run smoke-checks it live")
+	reshard := flag.Bool("reshard", false, "live-migrate the in-process topology from 2 to 4 shards while the mixed load runs (incompatible with -remote and -replicas)")
 	flag.Parse()
 
 	pipeline, err := core.BuildPipeline(core.TinyPipelineConfig())
@@ -137,8 +147,46 @@ func main() {
 		// rides the push subscription (zero probe round trips after
 		// warmup) instead of paying one RTT per serve-cache lookup.
 		remotePrimaries []*transport.RemoteShard
+		// mig, with -reshard, is the live 2→4 migration the mixed load
+		// runs against; it doubles as the write sink so every post routes
+		// through the versioned table.
+		mig *shard.Migration
 	)
-	if *remote != "" {
+	if *reshard {
+		if *remote != "" || *replicas > 1 {
+			log.Fatal("-reshard drives the in-process sharded topology; drop -remote/-replicas")
+		}
+		*shards = 2
+		src := shard.New(pipeline.Corpus, shard.Config{Shards: 2, Ingest: icfg})
+		defer src.Close()
+		dst := shard.New(pipeline.Corpus, shard.Config{Shards: 4, Ingest: icfg})
+		defer dst.Close()
+		det := core.NewShardedLiveDetectorOver(pipeline.Collection, src.Cluster(), online)
+		m, err := shard.NewMigration(src.Cluster(), dst.Cluster(), shard.MigrationConfig{
+			Cutover: func(to *shard.Cluster) { det.SwapCluster(to) },
+			Obs:     reg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		det.AttachMigration(m)
+		mig = m
+		backend = det
+		sink = m
+		// After cutover the destination holds every ingested post — the
+		// drained pre-cutover stream plus everything routed there since.
+		collect = func() []microblog.Tweet {
+			dst.Quiesce()
+			var all []microblog.Tweet
+			for i := 0; i < dst.NumShards(); i++ {
+				snap := dst.Shard(i).Snapshot()
+				for gid := dst.Shard(i).Base().NumTweets(); gid < snap.NumTweets(); gid++ {
+					all = append(all, *snap.Tweet(microblog.TweetID(gid)))
+				}
+			}
+			return all
+		}
+	} else if *remote != "" {
 		groups := strings.Split(*remote, ",")
 		n := len(groups)
 		*shards = n
@@ -317,6 +365,20 @@ func main() {
 		epochRTTsWarm += c.EpochRTTs()
 	}
 
+	// With -reshard: seed the 2-shard deployment with live posts so the
+	// drain has author logs to move, then run the migration concurrently
+	// with the mixed load below — queries and writes keep flowing while
+	// authors stream across.
+	var migDone chan error
+	if mig != nil {
+		stream := microblog.NewPostStream(pipeline.World, microblog.DefaultStreamConfig(41))
+		for i := 0; i < 500; i++ {
+			sink.Ingest(stream.Next())
+		}
+		migDone = make(chan error, 1)
+		go func() { migDone <- mig.Run() }()
+	}
+
 	workers := runtime.GOMAXPROCS(0)
 	res := serve.RunMixedLoad(srv, sink, serve.MixedLoadConfig{
 		Queries:       pool,
@@ -338,6 +400,16 @@ func main() {
 	if res.Stats.PartialResults > 0 || res.Stats.Uncacheable > 0 {
 		fmt.Printf("degraded: partial=%d shard-errors=%d uncacheable=%d\n",
 			res.Stats.PartialResults, res.Stats.ShardErrors, res.Stats.Uncacheable)
+	}
+
+	if mig != nil {
+		if err := <-migDone; err != nil {
+			log.Fatalf("reshard: %v", err)
+		}
+		st := mig.Stats()
+		fmt.Printf("\nreshard: %v — routing table v%d now %d shards; %d authors moved, %d posts (%d bytes) streamed, %d catch-up rounds, %d reads in the dual-read window\n",
+			st.State, st.TableVersion, st.ToShards, st.AuthorsMoving,
+			st.PostsStreamed, st.BytesStreamed, st.CatchUpRounds, st.WindowHits)
 	}
 
 	after := srv.Search(spot)

@@ -42,11 +42,21 @@ const EpochUnknown = shard.EpochUnknown
 type ShardedLiveDetector struct {
 	collection *domains.Collection
 	router     *shard.Router
-	cluster    *shard.Cluster
-	ranker     *expertise.Ranker
-	extended   bool
-	cfg        OnlineConfig
-	scratch    sync.Pool // of *shardedScratch, reused across queries
+	// cluster is an atomic pointer because live resharding swaps the
+	// whole shard set out from under in-flight queries: SwapCluster
+	// stores a new cluster (possibly with a different shard count),
+	// each query loads the pointer exactly once and runs entirely
+	// against that one cluster, and the serving cache tolerates the
+	// resulting epoch-vector length change by treating it as
+	// conservatively stale.
+	cluster atomic.Pointer[shard.Cluster]
+	// reshard, when non-nil, is the in-flight migration; the read path
+	// reports each query to it so the dual-read window is observable.
+	reshard  atomic.Pointer[shard.Migration]
+	ranker   *expertise.Ranker
+	extended bool
+	cfg      OnlineConfig
+	scratch  sync.Pool // of *shardedScratch, reused across queries
 
 	partialQueries atomic.Int64
 	shardErrors    atomic.Int64
@@ -55,12 +65,23 @@ type ShardedLiveDetector struct {
 	// and gather latency histograms, the global merge+rank histogram,
 	// and per-query span collection for the serving layer's slow log.
 	// All handles are pre-registered at construction so the query path
-	// records with plain atomic adds.
+	// records with plain atomic adds. The per-shard slices live behind
+	// one atomic pointer so SwapCluster can regrow them for a larger
+	// cluster while queries are in flight.
 	obsOn          bool
-	obsSearchNS    []*obs.Histogram
-	obsStatsNS     []*obs.Histogram
+	obsShard       atomic.Pointer[shardObsHandles]
 	obsMergeRankNS *obs.Histogram
 	obsShardErrs   *obs.Counter
+	obsReg         *obs.Registry
+}
+
+// shardObsHandles is one immutable generation of the per-shard
+// histogram handles; handles are get-or-create by name in the
+// registry, so regrowing for a swapped-in cluster reuses the existing
+// histograms for shard indexes both generations share.
+type shardObsHandles struct {
+	search []*obs.Histogram
+	stats  []*obs.Histogram
 }
 
 // shardSlot holds one shard's per-query state: the extracted raw rows,
@@ -118,23 +139,76 @@ func NewShardedLiveDetectorOver(coll *domains.Collection, c *shard.Cluster, cfg 
 	}
 	d := &ShardedLiveDetector{
 		collection: coll,
-		cluster:    c,
 		ranker:     expertise.NewRanker(len(c.World().Users), cfg.Expertise),
 		cfg:        cfg,
 	}
+	d.cluster.Store(c)
 	p := d.ranker.Params()
 	d.extended = p.WeightHT != 0 || p.WeightAV != 0 || p.WeightGI != 0
 	d.scratch.New = func() any { return &shardedScratch{} }
 	if cfg.Obs != nil {
 		d.obsOn = true
-		for i := 0; i < c.NumShards(); i++ {
-			d.obsSearchNS = append(d.obsSearchNS, cfg.Obs.Histogram(fmt.Sprintf("sharded_shard%d_search_ns", i)))
-			d.obsStatsNS = append(d.obsStatsNS, cfg.Obs.Histogram(fmt.Sprintf("sharded_shard%d_stats_ns", i)))
-		}
+		d.obsReg = cfg.Obs
+		d.obsShard.Store(shardHandles(cfg.Obs, nil, c.NumShards()))
 		d.obsMergeRankNS = cfg.Obs.Histogram("sharded_merge_rank_ns")
 		d.obsShardErrs = cfg.Obs.Counter("sharded_shard_errors")
 	}
 	return d
+}
+
+// shardHandles extends a previous generation of per-shard histogram
+// handles to cover n shards; shared indexes keep their handles (and
+// therefore their histograms — registry handles are get-or-create by
+// name).
+func shardHandles(reg *obs.Registry, prev *shardObsHandles, n int) *shardObsHandles {
+	h := &shardObsHandles{}
+	if prev != nil {
+		h.search = append(h.search, prev.search...)
+		h.stats = append(h.stats, prev.stats...)
+	}
+	for i := len(h.search); i < n; i++ {
+		h.search = append(h.search, reg.Histogram(fmt.Sprintf("sharded_shard%d_search_ns", i)))
+		h.stats = append(h.stats, reg.Histogram(fmt.Sprintf("sharded_shard%d_stats_ns", i)))
+	}
+	return h
+}
+
+// SwapCluster atomically replaces the shard set the read path
+// scatter-gathers over and returns the previous cluster (still open —
+// the caller decides when to close it, after in-flight queries
+// drain). It is the read half of a reshard cutover: wire it into
+// shard.MigrationConfig.Cutover so reads move in the same atomic step
+// as writes. The new cluster may have a different shard count; it
+// must be over the same world, because the ranker's candidate arena
+// is sized to the user universe at construction.
+func (d *ShardedLiveDetector) SwapCluster(next *shard.Cluster) *shard.Cluster {
+	prev := d.cluster.Load()
+	if next.World() != prev.World() {
+		panic("core: SwapCluster across worlds")
+	}
+	if d.obsOn {
+		if n := next.NumShards(); n > len(d.obsShard.Load().search) {
+			d.obsShard.Store(shardHandles(d.obsReg, d.obsShard.Load(), n))
+		}
+	}
+	d.cluster.Store(next)
+	return prev
+}
+
+// AttachMigration points the read path at an in-flight migration: every
+// query reports to Migration.NoteRead (counting dual-read-window hits),
+// and the serving layer surfaces Migration.Stats. Pass nil to detach
+// after the migration finishes or aborts.
+func (d *ShardedLiveDetector) AttachMigration(m *shard.Migration) { d.reshard.Store(m) }
+
+// ReshardStats returns the attached migration's progress snapshot;
+// ok is false when no migration is attached.
+func (d *ShardedLiveDetector) ReshardStats() (st shard.MigrationStats, ok bool) {
+	m := d.reshard.Load()
+	if m == nil {
+		return shard.MigrationStats{}, false
+	}
+	return m.Stats(), true
 }
 
 // Collection returns the domain collection backing expansion.
@@ -145,13 +219,14 @@ func (d *ShardedLiveDetector) Collection() *domains.Collection { return d.collec
 // cluster (NewShardedLiveDetectorOver) rather than a Router.
 func (d *ShardedLiveDetector) Router() *shard.Router { return d.router }
 
-// Cluster returns the shard set being scatter-gathered over.
-func (d *ShardedLiveDetector) Cluster() *shard.Cluster { return d.cluster }
+// Cluster returns the shard set being scatter-gathered over (the
+// current one, if a reshard cutover has swapped it).
+func (d *ShardedLiveDetector) Cluster() *shard.Cluster { return d.cluster.Load() }
 
 // Epoch returns the scalar digest (component sum) of the cluster's
 // vector epoch; see EpochVector for the full vector the serving cache
 // invalidates on.
-func (d *ShardedLiveDetector) Epoch() uint64 { return d.cluster.Epoch() }
+func (d *ShardedLiveDetector) Epoch() uint64 { return d.cluster.Load().Epoch() }
 
 // EpochVector appends the per-shard epochs of the view the next query
 // would observe to dst (capacity reused, contents discarded). The
@@ -159,7 +234,7 @@ func (d *ShardedLiveDetector) Epoch() uint64 { return d.cluster.Epoch() }
 // soon as any component advances; a component whose shard could not be
 // reached is EpochUnknown, which makes the sample uncacheable.
 func (d *ShardedLiveDetector) EpochVector(dst []uint64) []uint64 {
-	dst, _ = d.cluster.EpochVector(dst)
+	dst, _ = d.cluster.Load().EpochVector(dst)
 	return dst
 }
 
@@ -177,7 +252,7 @@ func (d *ShardedLiveDetector) PartialStats() (partialQueries, shardErrors int64)
 // PartialStats: a failover kept the query whole where a plain shard
 // would have degraded. Zero for clusters with no replicated members.
 // The serving layer mirrors it into serve.Stats.Failovers.
-func (d *ShardedLiveDetector) Failovers() int64 { return d.cluster.Failovers() }
+func (d *ShardedLiveDetector) Failovers() int64 { return d.cluster.Load().Failovers() }
 
 // Expand returns the expansion terms for a query (excluding the query
 // itself).
@@ -224,8 +299,15 @@ func (d *ShardedLiveDetector) SearchBaseline(query string) []expertise.Expert {
 // registry's histograms; un-instrumented, the two extras are nil/0 and
 // no clock is read.
 func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([]expertise.Expert, int, []obs.ShardSpan, int64) {
+	if mig := d.reshard.Load(); mig != nil {
+		mig.NoteRead()
+	}
+	// One load pins this query to one cluster generation: a reshard
+	// cutover swapping the pointer mid-query cannot mix shard sets
+	// (which would double-count denominators across the two sides).
+	c := d.cluster.Load()
 	s := d.scratch.Get().(*shardedScratch)
-	n := d.cluster.NumShards()
+	n := c.NumShards()
 	for len(s.shards) < n {
 		s.shards = append(s.shards, shardSlot{})
 	}
@@ -250,7 +332,7 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 		if d.obsOn {
 			t0 = time.Now()
 		}
-		b := d.cluster.Backend(si)
+		b := c.Backend(si)
 		if ss, ok := b.(shard.SearchStatser); ok {
 			// Composite scatter: rows plus the shard's own candidates'
 			// denominators arrive together (for a remote shard, in one
@@ -333,8 +415,10 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 		s.denoms = append(s.denoms, expertise.UserStats{})
 	}
 	var spans []obs.ShardSpan
+	var oh *shardObsHandles
 	if d.obsOn {
 		spans = make([]obs.ShardSpan, 0, n)
+		oh = d.obsShard.Load()
 	}
 	// failed counts shards missing from the result: a scatter failure
 	// contributes nothing at all; a shard that searched fine but failed
@@ -357,9 +441,13 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 				sp.Rows = len(sl.raw)
 			}
 			spans = append(spans, sp)
-			d.obsSearchNS[si].Observe(sl.searchNS)
-			if sl.statsNS > 0 {
-				d.obsStatsNS[si].Observe(sl.statsNS)
+			// The handle generation can trail a concurrent SwapCluster
+			// by one query; skip rather than index past it.
+			if si < len(oh.search) {
+				oh.search[si].Observe(sl.searchNS)
+				if sl.statsNS > 0 {
+					oh.stats[si].Observe(sl.statsNS)
+				}
 			}
 		}
 		if sl.err != nil {
@@ -385,7 +473,7 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 		expertise.AddUserStats(s.denoms, sl.stats)
 	}
 
-	s.cands = d.ranker.FinalizeRaw(s.cands, s.merged, s.denoms, d.cluster.World())
+	s.cands = d.ranker.FinalizeRaw(s.cands, s.merged, s.denoms, c.World())
 	results := d.ranker.Rank(s.cands)
 	if d.obsOn {
 		mergeRank += time.Since(tMerge).Nanoseconds()

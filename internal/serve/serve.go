@@ -48,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/expertise"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/textutil"
 )
 
@@ -101,6 +102,18 @@ type FailoverReporter interface {
 	// Failovers reports reads answered by a non-first-choice replica
 	// after at least one replica failed.
 	Failovers() int64
+}
+
+// ReshardReporter is a Backend whose shard set can be live-resharded
+// (core.ShardedLiveDetector with an attached shard.Migration). A
+// Server detects the interface at construction and surfaces the
+// migration's progress snapshot through Stats.Reshard — state, handoff
+// volume and dual-read-window hits — so an operator can watch an N→M
+// migration from the serving plane.
+type ReshardReporter interface {
+	// ReshardStats returns the in-flight (or finished) migration's
+	// progress snapshot; ok is false when no migration is attached.
+	ReshardStats() (st shard.MigrationStats, ok bool)
 }
 
 // Config tunes a Server.
@@ -167,6 +180,10 @@ type Stats struct {
 	// *avoided*, where PartialResults counts degradation suffered.
 	// Zero for backends without replicated shards.
 	Failovers int64
+	// Reshard is the live-resharding progress snapshot of the
+	// backend's attached migration (ReshardReporter); nil when the
+	// backend cannot reshard or no migration is attached.
+	Reshard *shard.MigrationStats
 }
 
 // cacheKey distinguishes the two endpoints for one normalized query.
@@ -206,6 +223,7 @@ type Server struct {
 	vecPool  sync.Pool // of *[]uint64
 	partial  PartialReporter
 	failover FailoverReporter
+	reshard  ReshardReporter
 
 	queries, hits, misses    atomic.Int64
 	coalesced, invalidations atomic.Int64
@@ -241,6 +259,9 @@ func New(b Backend, cfg Config) *Server {
 	}
 	if fr, ok := b.(FailoverReporter); ok {
 		s.failover = fr
+	}
+	if rr, ok := b.(ReshardReporter); ok {
+		s.reshard = rr
 	}
 	if cfg.CacheSize > 0 {
 		s.order = list.New()
@@ -533,6 +554,11 @@ func (s *Server) Stats() Stats {
 	}
 	if s.failover != nil {
 		st.Failovers = s.failover.Failovers()
+	}
+	if s.reshard != nil {
+		if rst, ok := s.reshard.ReshardStats(); ok {
+			st.Reshard = &rst
+		}
 	}
 	if s.slots != nil {
 		s.mu.Lock()

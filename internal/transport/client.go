@@ -272,6 +272,24 @@ func (r *RemoteShard) features() uint64 {
 	return f
 }
 
+// infoPayload builds the OpInfo request: feature bits alone before
+// Handshake, feature bits plus the pinned deployment coordinates after
+// — the renegotiation half of the identity check, run server-side, so
+// a client wired to a resharded or rebuilt deployment is refused at
+// connect even if it would have skipped its own verification.
+func (r *RemoteShard) infoPayload() []byte {
+	req := InfoReq{Features: r.features()}
+	r.mu.Lock()
+	if e := r.expect; e != nil {
+		req.ExpectShard = e.Shard
+		req.ExpectShards = e.NumShards
+		req.ExpectUsers = e.Users
+		req.ExpectBase = e.BaseTweets
+	}
+	r.mu.Unlock()
+	return AppendInfoReqExpect(nil, req)
+}
+
 // negotiate runs the once-per-connection OpInfo exchange on a freshly
 // dialed connection: it advertises the client's feature bits, records
 // the negotiated intersection on the connection, and — once Handshake
@@ -284,7 +302,7 @@ func (r *RemoteShard) features() uint64 {
 // degrades on (partial results, EpochUnknown, cache bypass) until the
 // operator re-wires.
 func (r *RemoteShard) negotiate(cc *clientConn) error {
-	resp, _, err := r.roundTrip(cc, OpInfo, AppendInfoReq(nil, r.features()), r.cfg.Timeout)
+	resp, _, err := r.roundTrip(cc, OpInfo, r.infoPayload(), r.cfg.Timeout)
 	if err != nil {
 		return err
 	}
@@ -454,7 +472,7 @@ func (r *RemoteShard) Handshake(shardIdx, numShards, users, baseTweets int) erro
 // Info fetches the server's partition description.
 func (r *RemoteShard) Info() (InfoResp, error) {
 	var info InfoResp
-	err := r.do(OpInfo, AppendInfoReq(nil, r.features()), r.cfg.Timeout, true, func(resp []byte) error {
+	err := r.do(OpInfo, r.infoPayload(), r.cfg.Timeout, true, func(resp []byte) error {
 		var err error
 		info, _, err = ConsumeInfoResp(resp)
 		return err
@@ -784,8 +802,13 @@ func (r *RemoteShard) Quiesce() error {
 // Tweets fetches one page of the shard's post log starting at global id
 // from (at most max posts; the server applies its own page cap too).
 func (r *RemoteShard) Tweets(from, max int) (TweetsResp, error) {
+	return r.tweets(TweetsReq{From: from, Max: max})
+}
+
+// tweets runs one OpTweets round trip.
+func (r *RemoteShard) tweets(req TweetsReq) (TweetsResp, error) {
 	var page TweetsResp
-	payload := AppendTweetsReq(nil, TweetsReq{From: from, Max: max})
+	payload := AppendTweetsReq(nil, req)
 	err := r.do(OpTweets, payload, r.cfg.Timeout, true, func(resp []byte) error {
 		var err error
 		page, _, err = ConsumeTweetsResp(resp)
@@ -793,6 +816,38 @@ func (r *RemoteShard) Tweets(from, max int) (TweetsResp, error) {
 	})
 	return page, err
 }
+
+// PagePosts implements shard.LogPager over OpTweets — the resharding
+// handoff page: the filter runs server-side (only the destination
+// shard's posts cross the wire) and the cursor advances by Scanned,
+// which counts skipped posts too.
+func (r *RemoteShard) PagePosts(from, max, filterShards, filterIdx int) ([]microblog.Post, int, int, error) {
+	page, err := r.tweets(TweetsReq{From: from, Max: max, FilterShards: filterShards, FilterIdx: filterIdx})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return page.Posts, page.Scanned, page.Total, nil
+}
+
+// BasePosts implements shard.LogPager: the shard's frozen base-corpus
+// size, from the handshake-pinned identity when available (no round
+// trip), otherwise from one OpInfo.
+func (r *RemoteShard) BasePosts() (int, error) {
+	r.mu.Lock()
+	expect := r.expect
+	r.mu.Unlock()
+	if expect != nil {
+		return expect.BaseTweets, nil
+	}
+	info, err := r.Info()
+	if err != nil {
+		return 0, err
+	}
+	return info.BaseTweets, nil
+}
+
+// RemoteShard can hand its log to a reshard migration.
+var _ shard.LogPager = (*RemoteShard)(nil)
 
 // DumpIngested pages every post the shard holds beyond its frozen base
 // — the remote form of walking a snapshot's ingested suffix, which the
@@ -810,8 +865,8 @@ func (r *RemoteShard) DumpIngested() ([]microblog.Post, error) {
 			return nil, err
 		}
 		posts = append(posts, page.Posts...)
-		from += len(page.Posts)
-		if from >= page.Total || len(page.Posts) == 0 {
+		from += page.Scanned
+		if from >= page.Total || page.Scanned == 0 {
 			return posts, nil
 		}
 	}

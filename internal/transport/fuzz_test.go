@@ -64,6 +64,16 @@ func seedFrames() [][]byte {
 		transport.AppendFrame(nil, transport.OpUnpin, nil),
 		transport.AppendFrame(nil, transport.OpInfo,
 			transport.AppendInfoReq(nil, transport.FeatureCompress)),
+		// Resharding-era frames: filtered handoff paging, scan-bounded
+		// responses, and the expectation-carrying info request.
+		transport.AppendFrame(nil, transport.OpTweets,
+			transport.AppendTweetsReq(nil, transport.TweetsReq{From: 2500, Max: 64, FilterShards: 8, FilterIdx: 5})),
+		transport.AppendFrame(nil, transport.OpTweets,
+			transport.AppendTweetsResp(nil, transport.TweetsResp{Total: 2700, Posts: posts, Scanned: 64})),
+		transport.AppendFrame(nil, transport.OpInfo,
+			transport.AppendInfoReqExpect(nil, transport.InfoReq{
+				Features: transport.FeatureCompress, ExpectShard: 1, ExpectShards: 4, ExpectUsers: 600, ExpectBase: 2500,
+			})),
 		transport.AppendFrame(nil, transport.OpDeflate,
 			transport.AppendDeflate(nil, transport.OpTweets,
 				transport.AppendTweetsResp(nil, transport.TweetsResp{Total: 2700, Posts: posts}))),
@@ -131,10 +141,17 @@ func FuzzDecodeFrame(f *testing.F) {
 				t.Fatalf("ingest req round trip: %d posts vs %d (%v)", len(again.Posts), len(req.Posts), err)
 			}
 		}
+		if req, _, err := transport.ConsumeTweetsReq(payload); err == nil {
+			enc := transport.AppendTweetsReq(nil, req)
+			again, _, err := transport.ConsumeTweetsReq(enc)
+			if err != nil || again != req {
+				t.Fatalf("tweets req round trip: %+v vs %+v (%v)", again, req, err)
+			}
+		}
 		if resp, _, err := transport.ConsumeTweetsResp(payload); err == nil {
 			enc := transport.AppendTweetsResp(nil, resp)
 			again, _, err := transport.ConsumeTweetsResp(enc)
-			if err != nil || again.Total != resp.Total || len(again.Posts) != len(resp.Posts) {
+			if err != nil || again.Total != resp.Total || again.Scanned != resp.Scanned || len(again.Posts) != len(resp.Posts) {
 				t.Fatalf("tweets resp round trip: %+v vs %+v (%v)", again, resp, err)
 			}
 		}
@@ -160,6 +177,12 @@ func FuzzDecodeFrame(f *testing.F) {
 			again, _, err := transport.ConsumeInfoReq(transport.AppendInfoReq(nil, feats))
 			if err != nil || again != feats {
 				t.Fatalf("info req round trip: %d vs %d (%v)", again, feats, err)
+			}
+		}
+		if req, _, err := transport.ConsumeInfoReqExpect(payload); err == nil {
+			again, _, err := transport.ConsumeInfoReqExpect(transport.AppendInfoReqExpect(nil, req))
+			if err != nil || again != req {
+				t.Fatalf("info req expect round trip: %+v vs %+v (%v)", again, req, err)
 			}
 		}
 		if inner, body, err := transport.ConsumeDeflate(nil, payload); err == nil {

@@ -542,11 +542,29 @@ func (s *ShardServer) dispatch(st *connState, op Op, payload []byte) (Op, error)
 		return OpQuiesce, nil
 
 	case OpInfo:
-		feats, _, err := ConsumeInfoReq(payload)
+		req, _, err := ConsumeInfoReqExpect(payload)
 		if err != nil {
 			return 0, err
 		}
-		st.features.Store(feats & serverFeatures)
+		// World-size renegotiation: a client restating handshake-pinned
+		// coordinates is refused here, at connect, when the topology it
+		// was wired for no longer matches this server — a reshard
+		// changed the shard count, or the deterministic build diverged.
+		// Failing the OpInfo means the client never trusts the
+		// connection, instead of silently reading the wrong partition.
+		if req.ExpectShards > 0 {
+			if req.ExpectShard != s.cfg.Shard || req.ExpectShards != s.cfg.NumShards {
+				return 0, fmt.Errorf("transport: client expects shard %d/%d, server is %d/%d (resharded?)",
+					req.ExpectShard, req.ExpectShards, s.cfg.Shard, s.cfg.NumShards)
+			}
+			if users := len(s.idx.World().Users); req.ExpectUsers != users {
+				return 0, fmt.Errorf("transport: client expects %d users, server has %d", req.ExpectUsers, users)
+			}
+			if base := s.idx.Base().NumTweets(); req.ExpectBase != base {
+				return 0, fmt.Errorf("transport: client expects %d base tweets, server has %d", req.ExpectBase, base)
+			}
+		}
+		st.features.Store(req.Features & serverFeatures)
 		snap := s.idx.Snapshot()
 		st.out = AppendInfoResp(st.out, InfoResp{
 			Shard:       s.cfg.Shard,
@@ -567,10 +585,17 @@ func (s *ShardServer) dispatch(st *connState, op Op, payload []byte) (Op, error)
 		}
 		snap := s.idx.Snapshot()
 		total := snap.NumTweets()
+		// Max bounds the ids scanned, not the posts returned: a
+		// filtered handoff page may return far fewer posts than it
+		// scanned, and Scanned tells the client how far to advance.
 		max := min(req.Max, s.cfg.MaxTweetsPage)
 		resp := TweetsResp{Total: total}
-		for gid := req.From; gid < total && len(resp.Posts) < max; gid++ {
+		for gid := req.From; gid < total && resp.Scanned < max; gid++ {
+			resp.Scanned++
 			tw := snap.Tweet(microblog.TweetID(gid))
+			if req.FilterShards > 0 && shard.ShardOf(tw.Author, req.FilterShards) != req.FilterIdx {
+				continue
+			}
 			resp.Posts = append(resp.Posts, microblog.Post{
 				Author:       tw.Author,
 				Text:         tw.Text,

@@ -268,6 +268,77 @@ func ConsumeInfoReq(buf []byte) (uint64, []byte, error) {
 	return f, buf, nil
 }
 
+// InfoReq is the full OpInfo request: the client's feature bits plus
+// its optional pinned expectations — the world-size renegotiation half
+// of resharding. A client that has handshaken against shard i of n
+// restates those coordinates on every fresh dial; the server compares
+// them against its own and refuses the connection with an explicit
+// error instead of answering, so a client wired to a stale topology
+// (the deployment resharded underneath it) fails at connect rather
+// than serving from the wrong shard. ExpectShards == 0 (the legacy
+// one-field payload) means no expectations.
+type InfoReq struct {
+	// Features is the client's supported feature bits.
+	Features uint64
+	// ExpectShard and ExpectShards are the shard coordinates the
+	// client pinned at handshake; ExpectShards == 0 disables the
+	// check. The +1 offset on the wire keeps shard 0 distinguishable
+	// from "absent".
+	ExpectShard, ExpectShards int
+	// ExpectUsers and ExpectBase pin the world size and base-corpus
+	// size — the deterministic-build agreement, now enforced on both
+	// ends of the wire.
+	ExpectUsers, ExpectBase int
+}
+
+// AppendInfoReqExpect appends the full OpInfo request; expectations
+// are appended only when armed, so expectation-free requests are
+// byte-wise identical to the legacy features-only encoding.
+func AppendInfoReqExpect(buf []byte, req InfoReq) []byte {
+	buf = binary.AppendUvarint(buf, req.Features)
+	if req.ExpectShards > 0 {
+		buf = binary.AppendUvarint(buf, uint64(req.ExpectShard)+1)
+		buf = binary.AppendUvarint(buf, uint64(req.ExpectShards))
+		buf = binary.AppendUvarint(buf, uint64(req.ExpectUsers))
+		buf = binary.AppendUvarint(buf, uint64(req.ExpectBase))
+	}
+	return buf
+}
+
+// ConsumeInfoReqExpect decodes the full OpInfo request; an empty
+// payload or a features-only payload decodes with no expectations.
+func ConsumeInfoReqExpect(buf []byte) (InfoReq, []byte, error) {
+	var req InfoReq
+	if len(buf) == 0 {
+		return req, buf, nil
+	}
+	f, buf, err := consumeUvarint(buf)
+	if err != nil {
+		return InfoReq{}, buf, fmt.Errorf("info req features: %w", err)
+	}
+	req.Features = f
+	if len(buf) == 0 {
+		return req, buf, nil
+	}
+	var fields [4]uint64
+	for i := range fields {
+		fields[i], buf, err = consumeUvarint(buf)
+		if err != nil {
+			return InfoReq{}, buf, fmt.Errorf("info req expect: %w", err)
+		}
+	}
+	// A zero shard+1 or shard count means the expectations are not
+	// armed; normalize to the empty form so decode→encode→decode is a
+	// fixed point.
+	if shard1 := int(fields[0]); shard1 > 0 && int(fields[1]) > 0 {
+		req.ExpectShard = shard1 - 1
+		req.ExpectShards = int(fields[1])
+		req.ExpectUsers = int(fields[2])
+		req.ExpectBase = int(fields[3])
+	}
+	return req, buf, nil
+}
+
 // AppendInfoResp appends the encoded response to buf.
 func AppendInfoResp(buf []byte, resp InfoResp) []byte {
 	buf = binary.AppendUvarint(buf, uint64(resp.Shard))
@@ -313,15 +384,30 @@ func ConsumeInfoResp(buf []byte) (InfoResp, []byte, error) {
 // TweetsReq is the OpTweets payload: a page request over the shard's
 // global tweet-id space.
 type TweetsReq struct {
-	// From is the first global id wanted; Max caps the page size (the
-	// server may return fewer — it also honors its own cap).
+	// From is the first global id wanted; Max caps how many ids the
+	// page scans (the server may scan fewer — it also honors its own
+	// cap).
 	From, Max int
+	// FilterShards/FilterIdx, when FilterShards > 0, restrict the page
+	// to posts whose author maps to FilterIdx under
+	// shard.ShardOf(author, FilterShards) — the resharding handoff
+	// filter, applied server-side so only a destination shard's
+	// content crosses the wire. They ride as optional trailing fields:
+	// absent (the pre-resharding protocol) means unfiltered.
+	FilterShards, FilterIdx int
 }
 
-// AppendTweetsReq appends the encoded request to buf.
+// AppendTweetsReq appends the encoded request to buf; the filter pair
+// is appended only when armed, so unfiltered requests are byte-wise
+// identical to the pre-resharding encoding.
 func AppendTweetsReq(buf []byte, req TweetsReq) []byte {
 	buf = binary.AppendUvarint(buf, uint64(req.From))
-	return binary.AppendUvarint(buf, uint64(req.Max))
+	buf = binary.AppendUvarint(buf, uint64(req.Max))
+	if req.FilterShards > 0 {
+		buf = binary.AppendUvarint(buf, uint64(req.FilterShards))
+		buf = binary.AppendUvarint(buf, uint64(req.FilterIdx))
+	}
+	return buf
 }
 
 // ConsumeTweetsReq decodes a TweetsReq off the front of buf.
@@ -334,7 +420,24 @@ func ConsumeTweetsReq(buf []byte) (TweetsReq, []byte, error) {
 	if err != nil {
 		return TweetsReq{}, buf, fmt.Errorf("tweets req max: %w", err)
 	}
-	return TweetsReq{From: int(from), Max: int(max)}, buf, nil
+	req := TweetsReq{From: int(from), Max: int(max)}
+	if len(buf) > 0 {
+		fs, rest, err := consumeUvarint(buf)
+		if err != nil {
+			return TweetsReq{}, rest, fmt.Errorf("tweets req filter shards: %w", err)
+		}
+		fi, rest, err := consumeUvarint(rest)
+		if err != nil {
+			return TweetsReq{}, rest, fmt.Errorf("tweets req filter idx: %w", err)
+		}
+		// A non-positive FilterShards on the wire means no filter; drop
+		// the idx too so decode→encode→decode is a fixed point.
+		if n := int(fs); n > 0 {
+			req.FilterShards, req.FilterIdx = n, int(fi)
+		}
+		buf = rest
+	}
+	return req, buf, nil
 }
 
 // TweetsResp is the OpTweets response: the page's posts and the shard's
@@ -345,6 +448,13 @@ func ConsumeTweetsReq(buf []byte) (TweetsReq, []byte, error) {
 type TweetsResp struct {
 	Total int
 	Posts []microblog.Post
+	// Scanned is how many global ids the page consumed — equal to
+	// len(Posts) for an unfiltered page, larger when a handoff filter
+	// (TweetsReq.FilterShards) skipped other shards' posts. The
+	// client advances its cursor by Scanned. It rides as an optional
+	// trailing field; absent (a pre-resharding server) it decodes as
+	// len(Posts).
+	Scanned int
 }
 
 // AppendTweetsResp appends the encoded response to buf.
@@ -354,7 +464,7 @@ func AppendTweetsResp(buf []byte, resp TweetsResp) []byte {
 	for i := range resp.Posts {
 		buf = appendPost(buf, &resp.Posts[i])
 	}
-	return buf
+	return binary.AppendUvarint(buf, uint64(resp.Scanned))
 }
 
 // ConsumeTweetsResp decodes a TweetsResp off the front of buf.
@@ -377,6 +487,15 @@ func ConsumeTweetsResp(buf []byte) (TweetsResp, []byte, error) {
 			return resp, buf, fmt.Errorf("tweets resp post %d: %w", i, err)
 		}
 		resp.Posts = append(resp.Posts, p)
+	}
+	resp.Scanned = len(resp.Posts)
+	if len(buf) > 0 {
+		sc, rest, err := consumeUvarint(buf)
+		if err != nil {
+			return resp, rest, fmt.Errorf("tweets resp scanned: %w", err)
+		}
+		resp.Scanned = int(sc)
+		buf = rest
 	}
 	return resp, buf, nil
 }
