@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench cover cover-check check docs-check bench-shard bench-remote bench-replica bench-json fuzz-smoke
+.PHONY: all build test race vet bench cover cover-check check docs-check bench-shard bench-remote bench-replica bench-gateway bench-json fuzz-smoke run-gateway smoke-gateway
 
 all: check
 
@@ -15,7 +15,7 @@ test:
 # registry are the concurrent surfaces; hammer them with the race
 # detector enabled.
 race:
-	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog ./internal/ingest ./internal/shard ./internal/transport ./internal/replica ./internal/obs
+	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog ./internal/ingest ./internal/shard ./internal/transport ./internal/replica ./internal/obs ./internal/gateway
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +26,7 @@ vet:
 docs-check: vet
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt -l found unformatted files:"; echo "$$fmtout"; exit 1; fi
-	$(GO) run ./cmd/docscheck ./internal/shard ./internal/core ./internal/transport ./internal/replica ./internal/obs
+	$(GO) run ./cmd/docscheck ./internal/shard ./internal/core ./internal/transport ./internal/replica ./internal/obs ./internal/gateway
 
 # Hot-path and serving benchmarks; `make bench BENCH=.` runs everything
 # in the root package. Streaming benchmarks live in internal/ingest,
@@ -49,17 +49,21 @@ bench-remote:
 bench-replica:
 	$(GO) test -bench 'Replicated|Failover' -benchmem -run '^$$' ./internal/replica
 
+bench-gateway:
+	$(GO) test -bench 'Gateway' -benchmem -run '^$$' ./internal/gateway
+
 # Machine-readable benchmark snapshot: runs every per-layer bench suite
 # and converts the output to benchstat-compatible JSON via
 # cmd/benchjson. BENCHN names the PR the snapshot belongs to, so
 # successive PRs leave comparable BENCH_<n>.json files behind.
-BENCHN ?= 8
+BENCHN ?= 9
 bench-json:
 	@{ $(GO) test -bench 'Table9|ServeQPS|OnlineSearch' -benchmem -run '^$$' . ; \
 	   $(GO) test -bench 'Ingest|LiveSearch' -benchmem -run '^$$' ./internal/ingest ; \
 	   $(GO) test -bench 'Sharded|EpochVector|Reshard' -benchmem -run '^$$' ./internal/shard ; \
 	   $(GO) test -bench 'Remote|WireSearchCodec' -benchmem -run '^$$' ./internal/transport ; \
 	   $(GO) test -bench 'Replicated|Failover' -benchmem -run '^$$' ./internal/replica ; \
+	   $(GO) test -bench 'Gateway' -benchmem -run '^$$' ./internal/gateway ; \
 	   $(GO) test -bench 'Obs' -benchmem -run '^$$' ./internal/obs ; } \
 	 | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_$(BENCHN).json
 
@@ -87,4 +91,15 @@ cover-check: cover
 		if (t+0 < floor+0) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, floor; exit 1 } \
 		else { printf "coverage %.1f%% (floor %.1f%%)\n", t, floor } }'
 
-check: build vet test race docs-check cover-check
+# Run the HTTP front door locally: 2 in-process shards, a dev admin
+# token, the admin plane on :8081. Ctrl-C drains and exits 0.
+run-gateway:
+	$(GO) run ./cmd/gateway -addr 127.0.0.1:8080 -admin 127.0.0.1:8081
+
+# Boot a real gateway process on a free port, drive one authenticated
+# search, one 401 and a clean SIGTERM drain through it, fail on any
+# wrong status. Wired into CI as the end-to-end front-door smoke.
+smoke-gateway: build
+	./scripts/smoke_gateway.sh
+
+check: build vet test race docs-check cover-check smoke-gateway

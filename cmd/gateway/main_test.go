@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// bootGateway starts run() on a free port and returns the bound
+// address plus the done channel carrying run's return value.
+func bootGateway(t *testing.T, extra ...string) (string, chan os.Signal, chan error, *strings.Builder) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-shards", "2", "-seal", "64"}, extra...)
+	ready := make(chan string, 1)
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() { done <- run(args, &out, sigs, ready) }()
+	select {
+	case addr := <-ready:
+		return addr, sigs, done, &out
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v\n%s", err, out.String())
+		return "", nil, nil, nil
+	}
+}
+
+// TestRunServesAndDrains boots the gateway process loop, drives an
+// authenticated search and the auth refusals over real HTTP, then
+// delivers SIGTERM and requires a clean drain: run returns nil (exit
+// 0) and narrates the shutdown.
+func TestRunServesAndDrains(t *testing.T) {
+	addr, sigs, done, out := bootGateway(t)
+	url := "http://" + addr + "/v1/search"
+
+	req, _ := http.NewRequest(http.MethodPost, url, strings.NewReader(`{"query":"vintage cars"}`))
+	req.Header.Set("Authorization", "Bearer dev")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authed search: status %d: %s", resp.StatusCode, body)
+	}
+	var decoded struct {
+		Experts json.RawMessage `json:"experts"`
+	}
+	if err := json.Unmarshal(body, &decoded); err != nil || string(decoded.Experts) == "null" {
+		t.Fatalf("malformed search body %s (err %v)", body, err)
+	}
+
+	resp, err = http.Post(url, "application/json", strings.NewReader(`{"query":"vintage cars"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated search: status %d, want 401", resp.StatusCode)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+	if got := out.String(); !strings.Contains(got, "drained, bye") {
+		t.Fatalf("drain not narrated: %q", got)
+	}
+}
+
+// TestRunAdminPlane boots with -admin and scrapes the shared plane:
+// both serve_* and gateway_* metric families must be visible.
+func TestRunAdminPlane(t *testing.T) {
+	addr, sigs, done, out := bootGateway(t, "-admin", "127.0.0.1:0")
+	defer func() {
+		sigs <- syscall.SIGTERM
+		if err := <-done; err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	}()
+
+	req, _ := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/search",
+		strings.NewReader(`{"query":"vintage cars"}`))
+	req.Header.Set("Authorization", "Bearer dev")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	banner := out.String()
+	i := strings.Index(banner, "admin plane on http://")
+	if i < 0 {
+		t.Fatalf("admin banner missing: %q", banner)
+	}
+	base := strings.Fields(banner[i+len("admin plane on "):])[0]
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, row := range []string{"gateway_requests 1", "gateway_ok 1", "serve_queries 1"} {
+		if !strings.Contains(string(metrics), row) {
+			t.Errorf("/metrics missing %q:\n%s", row, metrics)
+		}
+	}
+}
+
+// TestRunRejectsBadFlags pins the flag validation paths.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-shards", "0"}, &out, nil, nil); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if err := run([]string{"-tokens", "a:b::"}, &out, nil, nil); err == nil {
+		t.Fatal("malformed token spec accepted")
+	}
+	if err := run([]string{"-tokens", ""}, &out, nil, nil); err == nil {
+		t.Fatal("empty token table accepted")
+	}
+}

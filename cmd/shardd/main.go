@@ -49,6 +49,9 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ingest"
@@ -58,16 +61,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, sigs, nil); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run parses flags, builds the shard's slice of the deterministic
-// pipeline and serves it until the server is closed. When started is
-// non-nil it receives the listening server once ready (tests use it to
-// drive and then stop the process loop).
-func run(args []string, out io.Writer, started chan<- *transport.ShardServer) error {
+// pipeline and serves it until the server is closed or a signal
+// arrives on sigs — SIGINT/SIGTERM trigger a graceful shutdown: stop
+// accepting, let in-flight conversations and push subscribers drain
+// within the -grace budget, then exit 0. When started is non-nil it
+// receives the listening server once ready (tests use it to drive and
+// then stop the process loop).
+func run(args []string, out io.Writer, sigs <-chan os.Signal, started chan<- *transport.ShardServer) error {
 	fs := flag.NewFlagSet("shardd", flag.ContinueOnError)
 	fs.SetOutput(out)
 	addr := fs.String("addr", "127.0.0.1:7101", "TCP address to serve the shard on")
@@ -76,6 +84,7 @@ func run(args []string, out io.Writer, started chan<- *transport.ShardServer) er
 	seal := fs.Int("seal", 128, "active-segment seal threshold")
 	fanIn := fs.Int("fanin", 4, "compaction fan-in")
 	admin := fs.String("admin", "", "optional host:port for the admin HTTP plane (/metrics, /healthz, /stats, /debug/pprof/)")
+	grace := fs.Duration("grace", 5*time.Second, "in-flight drain budget on SIGINT/SIGTERM before connections are force-closed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,6 +130,24 @@ func run(args []string, out io.Writer, started chan<- *transport.ShardServer) er
 		*shardIdx, *numShards, srv.Addr(), part.NumTweets(), pipeline.Corpus.NumTweets(), *seal, *fanIn)
 	if started != nil {
 		started <- srv
+	}
+	if sigs != nil {
+		done := make(chan struct{})
+		go func() {
+			srv.Wait()
+			close(done)
+		}()
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(out, "shardd: %v — draining (grace %v)\n", sig, *grace)
+			if err := srv.Shutdown(*grace); err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "shardd: drained, bye")
+			return nil
+		case <-done:
+			return nil
+		}
 	}
 	srv.Wait()
 	return nil

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"context"
 	"io"
 	"net/http"
+	"os"
 	"regexp"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/transport"
 )
@@ -17,7 +21,7 @@ func TestRunServesAndStops(t *testing.T) {
 	done := make(chan error, 1)
 	var out strings.Builder
 	go func() {
-		done <- run([]string{"-addr", "127.0.0.1:0", "-shard", "0", "-of", "2", "-seal", "64"}, &out, started)
+		done <- run([]string{"-addr", "127.0.0.1:0", "-shard", "0", "-of", "2", "-seal", "64"}, &out, nil, started)
 	}()
 	srv := <-started
 
@@ -33,7 +37,7 @@ func TestRunServesAndStops(t *testing.T) {
 	if info.BaseTweets <= 0 || info.BaseTweets >= info.NumTweets+1 {
 		t.Fatalf("implausible partition: %+v", info)
 	}
-	rows, matched, v, err := c.Search([]string{"49ers"}, false, nil)
+	rows, matched, v, err := c.Search(context.Background(), []string{"49ers"}, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +67,7 @@ func TestRunAdminPlane(t *testing.T) {
 	var out strings.Builder
 	go func() {
 		done <- run([]string{"-addr", "127.0.0.1:0", "-admin", "127.0.0.1:0",
-			"-shard", "0", "-of", "1", "-seal", "8"}, &out, started)
+			"-shard", "0", "-of", "1", "-seal", "8"}, &out, nil, started)
 	}()
 	srv := <-started
 	defer func() {
@@ -84,7 +88,7 @@ func TestRunAdminPlane(t *testing.T) {
 	// Drive one search so the RPC accounting moves.
 	c := transport.NewRemoteShard(srv.Addr().String(), transport.DefaultClientConfig())
 	defer c.Close()
-	if _, _, v, err := c.Search([]string{"49ers"}, false, nil); err != nil {
+	if _, _, v, err := c.Search(context.Background(), []string{"49ers"}, false, nil); err != nil {
 		t.Fatal(err)
 	} else {
 		v.Release()
@@ -138,10 +142,48 @@ func fetchOK(t *testing.T, url string) string {
 // TestRunRejectsBadPartition pins the flag validation.
 func TestRunRejectsBadPartition(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-shard", "3", "-of", "2"}, &out, nil); err == nil {
+	if err := run([]string{"-shard", "3", "-of", "2"}, &out, nil, nil); err == nil {
 		t.Fatal("invalid partition accepted")
 	}
-	if err := run([]string{"-of", "0"}, &out, nil); err == nil {
+	if err := run([]string{"-of", "0"}, &out, nil, nil); err == nil {
 		t.Fatal("zero partitions accepted")
+	}
+}
+
+// TestRunDrainsOnSignal pins the graceful-shutdown bugfix: a SIGTERM
+// delivered mid-conversation drains the server within the grace budget
+// and run returns nil (exit 0), with the drain narrated on stdout.
+func TestRunDrainsOnSignal(t *testing.T) {
+	started := make(chan *transport.ShardServer, 1)
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-shard", "0", "-of", "1",
+			"-grace", "5s"}, &out, sigs, started)
+	}()
+	srv := <-started
+
+	// A live client conversation in progress when the signal lands.
+	c := transport.NewRemoteShard(srv.Addr().String(), transport.DefaultClientConfig())
+	defer c.Close()
+	if _, _, v, err := c.Search(context.Background(), []string{"49ers"}, false, nil); err != nil {
+		t.Fatal(err)
+	} else {
+		v.Release()
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+	got := out.String()
+	if !strings.Contains(got, "draining") || !strings.Contains(got, "drained, bye") {
+		t.Fatalf("drain not narrated: %q", got)
 	}
 }

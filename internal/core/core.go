@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -262,6 +263,26 @@ func (d *Detector) Search(query string) ([]expertise.Expert, SearchTrace) {
 	d.scratch.Put(s)
 	trace.SearchDuration = time.Since(start)
 	return results, trace
+}
+
+// SearchContext is Search with a cancellation check at entry; the
+// frozen detector never blocks, so no deeper check is useful. See
+// LiveDetector.SearchContext.
+func (d *Detector) SearchContext(ctx context.Context, query string) ([]expertise.Expert, SearchTrace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, SearchTrace{Query: query}, err
+	}
+	results, trace := d.Search(query)
+	return results, trace, nil
+}
+
+// SearchBaselineContext is SearchBaseline with a cancellation check at
+// entry, mirroring SearchContext.
+func (d *Detector) SearchBaselineContext(ctx context.Context, query string) ([]expertise.Expert, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return d.SearchBaseline(query), nil
 }
 
 // SearchBaseline runs the unexpanded Pal & Counts baseline.

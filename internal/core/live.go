@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -102,6 +103,27 @@ func (d *LiveDetector) Search(query string) ([]expertise.Expert, SearchTrace) {
 	d.scratch.Put(s)
 	trace.SearchDuration = time.Since(start)
 	return results, trace
+}
+
+// SearchContext is Search with a cancellation check at entry. The
+// single-node search never blocks (no I/O, bounded CPU), so honoring
+// the context any deeper would buy nothing; the check exists so the
+// serving layer can treat every detector uniformly.
+func (d *LiveDetector) SearchContext(ctx context.Context, query string) ([]expertise.Expert, SearchTrace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, SearchTrace{Query: query}, err
+	}
+	results, trace := d.Search(query)
+	return results, trace, nil
+}
+
+// SearchBaselineContext is SearchBaseline with a cancellation check at
+// entry, mirroring SearchContext.
+func (d *LiveDetector) SearchBaselineContext(ctx context.Context, query string) ([]expertise.Expert, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return d.SearchBaseline(query), nil
 }
 
 // SearchBaseline runs the unexpanded Pal & Counts baseline against the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -263,6 +264,17 @@ func (d *ShardedLiveDetector) Expand(query string) []string {
 // Search runs the full e# online stage scattered across the shards.
 // Safe for concurrent use with ingestion and compaction on every shard.
 func (d *ShardedLiveDetector) Search(query string) ([]expertise.Expert, SearchTrace) {
+	results, trace, _ := d.SearchContext(context.Background(), query)
+	return results, trace
+}
+
+// SearchContext is Search under a caller deadline: the remaining
+// budget rides the context down the scatter-gather into every
+// per-shard RPC, and an expired budget fails the whole query with the
+// context's error instead of degrading to partial results — a
+// front-door request past its deadline has no reader left to serve a
+// partial answer to. With context.Background() it is exactly Search.
+func (d *ShardedLiveDetector) SearchContext(ctx context.Context, query string) ([]expertise.Expert, SearchTrace, error) {
 	trace := SearchTrace{Query: query}
 
 	start := time.Now()
@@ -270,19 +282,26 @@ func (d *ShardedLiveDetector) Search(query string) ([]expertise.Expert, SearchTr
 	trace.ExpandDuration = time.Since(start)
 
 	start = time.Now()
-	results, matched, spans, mergeRank := d.scatterGather(query, trace.Expansion)
+	results, matched, spans, mergeRank, err := d.scatterGather(ctx, query, trace.Expansion)
 	trace.MatchedTweets = matched
 	trace.SearchDuration = time.Since(start)
 	trace.Shards = spans
 	trace.MergeRankNS = mergeRank
-	return results, trace
+	return results, trace, err
 }
 
 // SearchBaseline runs the unexpanded Pal & Counts baseline scattered
 // across the shards.
 func (d *ShardedLiveDetector) SearchBaseline(query string) []expertise.Expert {
-	results, _, _, _ := d.scatterGather(query, nil)
+	results, _ := d.SearchBaselineContext(context.Background(), query)
 	return results
+}
+
+// SearchBaselineContext is SearchBaseline under a caller deadline,
+// with the same whole-query expiry semantics as SearchContext.
+func (d *ShardedLiveDetector) SearchBaselineContext(ctx context.Context, query string) ([]expertise.Expert, error) {
+	results, _, _, _, err := d.scatterGather(ctx, query, nil)
+	return results, err
 }
 
 // scatterGather is the shared read path: fan the scatter stage (each
@@ -298,7 +317,32 @@ func (d *ShardedLiveDetector) SearchBaseline(query string) []expertise.Expert {
 // spans and the merge+rank nanoseconds, recording both into the
 // registry's histograms; un-instrumented, the two extras are nil/0 and
 // no clock is read.
-func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([]expertise.Expert, int, []obs.ShardSpan, int64) {
+//
+// Deadline policy: ctx expiry is a whole-query error, not a partial
+// result. The check sits after each fan-out barrier — every worker has
+// returned, so every pinned view can be released before bailing, which
+// is what keeps cancellation leak-free (no goroutine outlives the
+// fan-out, no view outlives the query).
+// ctxExpired is the barrier check. ctx.Err() alone is racy against
+// wire deadlines: a per-RPC conn deadline derived from this context
+// fires on wall-clock time, while ctx.Err() flips only after the
+// context's own timer goroutine has run — so for a few scheduler ticks
+// after the shared instant, the shard has already failed with a
+// deadline error but ctx.Err() still reads nil, and the query would
+// degrade to a partial result instead of the whole-query timeout the
+// caller's budget demands. Checking the deadline against the clock
+// closes that window deterministically.
+func ctxExpired(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func (d *ShardedLiveDetector) scatterGather(ctx context.Context, query string, expansion []string) ([]expertise.Expert, int, []obs.ShardSpan, int64, error) {
 	if mig := d.reshard.Load(); mig != nil {
 		mig.NoteRead()
 	}
@@ -340,16 +384,21 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 			// candidates' denominators — nothing at all when this shard
 			// saw every global candidate, which is the healthy N=1 case.
 			sl.raw, sl.matched, sl.ownStats, sl.view, sl.err =
-				ss.SearchStats(s.terms, d.extended, sl.raw, sl.ownStats)
+				ss.SearchStats(ctx, s.terms, d.extended, sl.raw, sl.ownStats)
 			sl.composite = sl.err == nil
 		} else {
 			sl.raw, sl.matched, sl.view, sl.err =
-				b.Search(s.terms, d.extended, sl.raw)
+				b.Search(ctx, s.terms, d.extended, sl.raw)
 		}
 		if d.obsOn {
 			sl.searchNS = time.Since(t0).Nanoseconds()
 		}
 	})
+
+	if err := ctxExpired(ctx); err != nil {
+		d.abandon(s, n)
+		return nil, 0, nil, 0, err
+	}
 
 	var mergeRank int64
 	var tMerge time.Time
@@ -391,7 +440,7 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 				defer func() { sl.statsNS = time.Since(t0).Nanoseconds() }()
 			}
 			if !sl.composite {
-				sl.stats, sl.err = sl.view.Stats(s.users, sl.stats)
+				sl.stats, sl.err = sl.view.Stats(ctx, s.users, sl.stats)
 				return
 			}
 			// Top up the composite: only the global candidates this
@@ -404,8 +453,12 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 				sl.stats = sl.stats[:0]
 				return
 			}
-			sl.stats, sl.err = sl.view.Stats(sl.topUsers, sl.stats)
+			sl.stats, sl.err = sl.view.Stats(ctx, sl.topUsers, sl.stats)
 		})
+		if err := ctxExpired(ctx); err != nil {
+			d.abandon(s, n)
+			return nil, 0, nil, 0, err
+		}
 	}
 	if d.obsOn {
 		tMerge = time.Now()
@@ -484,7 +537,23 @@ func (d *ShardedLiveDetector) scatterGather(query string, expansion []string) ([
 		d.partialQueries.Add(1)
 		d.shardErrors.Add(int64(failed))
 	}
-	return results, matched, spans, mergeRank
+	return results, matched, spans, mergeRank, nil
+}
+
+// abandon is the deadline-expiry exit: release every view the query
+// still pins, clear the per-slot errors and pool the scratch. It runs
+// only after a fan-out barrier, so no worker can still be writing to
+// the slots.
+func (d *ShardedLiveDetector) abandon(s *shardedScratch, n int) {
+	for si := 0; si < n; si++ {
+		sl := &s.shards[si]
+		if sl.view != nil {
+			sl.view.Release()
+			sl.view = nil
+		}
+		sl.err = nil
+	}
+	d.scratch.Put(s)
 }
 
 // missingUsers appends to dst every user in all that rows does not

@@ -54,6 +54,28 @@ type Collection struct {
 	// tokenIndex supports the relaxed match modes; built lazily.
 	tokenOnce  sync.Once
 	tokenIndex map[string][]tokenPosting
+	// The canonical lookup tables below make Lookup a pure function of
+	// the query's canonical token set (sorted, de-duplicated tokens), so
+	// the serve layer may safely share one cache/singleflight entry
+	// across reordered or duplicated spellings of the same query. Built
+	// lazily like tokenIndex.
+	canonOnce sync.Once
+	// byCanon maps the canonical form of every member term to the
+	// domain that wins that canonical class (highest intra-domain
+	// weight; ties break toward the lower domain, then the more central
+	// term).
+	byCanon map[string]int32
+	// canonLosers marks exact member terms whose canonical class
+	// resolves to a different domain; Lookup routes them to the winner
+	// so permuted spellings and the verbatim spelling agree.
+	canonLosers map[string]bool
+	// canonTerms mirrors domains[i].Terms with each term's canonical
+	// form, for canonical-class exclusion during expansion.
+	canonTerms [][]string
+	// canonDup[i] reports whether domain i contains two member terms
+	// sharing a canonical form; expansion must then exclude by
+	// canonical equality rather than string identity.
+	canonDup []bool
 }
 
 // DomainLink is a weighted reference to a nearby domain.
@@ -151,15 +173,71 @@ func (c *Collection) NumDomains() int { return len(c.domains) }
 // Domain returns the domain with the given ID.
 func (c *Collection) Domain(id int32) *Domain { return &c.domains[id] }
 
+// ensureCanonIndex lazily builds the canonical lookup tables. Safe for
+// concurrent use; after the first call it is one atomic load.
+func (c *Collection) ensureCanonIndex() {
+	c.canonOnce.Do(func() {
+		type winner struct {
+			domain int32
+			weight float64
+		}
+		best := map[string]winner{}
+		c.canonTerms = make([][]string, len(c.domains))
+		c.canonDup = make([]bool, len(c.domains))
+		for i := range c.domains {
+			d := &c.domains[i]
+			ct := make([]string, len(d.Terms))
+			seen := map[string]bool{}
+			for j, t := range d.Terms {
+				k := textutil.Canonical(t)
+				ct[j] = k
+				if seen[k] {
+					c.canonDup[i] = true
+				}
+				seen[k] = true
+				// Strict > keeps the first maximum: domains iterate in ID
+				// order and Terms are weight-sorted, so ties resolve to the
+				// lower domain and its most central term — deterministic.
+				if w, ok := best[k]; !ok || d.Weights[j] > w.weight {
+					best[k] = winner{domain: d.ID, weight: d.Weights[j]}
+				}
+			}
+			c.canonTerms[i] = ct
+		}
+		c.byCanon = make(map[string]int32, len(best))
+		for k, w := range best {
+			c.byCanon[k] = w.domain
+		}
+		c.canonLosers = map[string]bool{}
+		for t, id := range c.byTerm {
+			if c.byCanon[textutil.Canonical(t)] != id {
+				c.canonLosers[t] = true
+			}
+		}
+	})
+}
+
 // Lookup finds the domain containing the query "exactly and in order,
-// after lower-casing" (Section 5). The second return is false when no
+// after lower-casing" (Section 5), falling back to the query's
+// canonical token set when no verbatim member matches. The fallback
+// makes Lookup — and therefore expansion and the whole search — a pure
+// function of the canonical token set, which is what justifies the
+// serve layer coalescing "rust go" onto "go rust": the tweet-matching
+// predicate (AND over tokens) is itself order- and
+// duplicate-insensitive, so token order only ever mattered here. When
+// two member terms share a canonical form, every spelling routes to
+// the one deterministic winner. The second return is false when no
 // domain contains the term.
 func (c *Collection) Lookup(query string) (*Domain, bool) {
-	id, ok := c.byTerm[textutil.Normalize(query)]
-	if !ok {
-		return nil, false
+	c.ensureCanonIndex()
+	norm := textutil.Normalize(query)
+	if id, ok := c.byTerm[norm]; ok && !c.canonLosers[norm] {
+		return &c.domains[id], true
 	}
-	return &c.domains[id], true
+	if id, ok := c.byCanon[textutil.Canonical(query)]; ok {
+		return &c.domains[id], true
+	}
+	return nil, false
 }
 
 // Expand returns up to maxTerms related terms for the query (the other
@@ -170,10 +248,37 @@ func (c *Collection) Expand(query string, maxTerms int) []string {
 	if !ok {
 		return nil
 	}
+	return c.expandFrom(d, query, maxTerms)
+}
+
+// expandFrom lists up to maxTerms members of d excluding every term in
+// the query's canonical class (a reordered spelling of a member must
+// not expand into itself).
+func (c *Collection) expandFrom(d *Domain, query string, maxTerms int) []string {
+	c.ensureCanonIndex()
 	norm := textutil.Normalize(query)
+	// Fast path: the query verbatim-matches a member of this very
+	// domain and no two members share a canonical form — excluding the
+	// literal member is then exactly canonical-class exclusion, with no
+	// canonicalization work on the hot exact-hit path.
+	if id, exact := c.byTerm[norm]; exact && id == d.ID && !c.canonDup[d.ID] && !c.canonLosers[norm] {
+		out := make([]string, 0, min(maxTerms, len(d.Terms)))
+		for _, t := range d.Terms {
+			if t == norm {
+				continue
+			}
+			out = append(out, t)
+			if len(out) == maxTerms {
+				break
+			}
+		}
+		return out
+	}
+	canonQ := textutil.Canonical(query)
+	ct := c.canonTerms[d.ID]
 	out := make([]string, 0, min(maxTerms, len(d.Terms)))
-	for _, t := range d.Terms {
-		if t == norm {
+	for i, t := range d.Terms {
+		if ct[i] == canonQ {
 			continue
 		}
 		out = append(out, t)
@@ -420,6 +525,9 @@ const (
 	MatchExact MatchMode = iota
 	// MatchPhrase accepts a domain term that contains the query as a
 	// contiguous token phrase ("49ers" matches the term "49ers draft").
+	// Unlike the exact tier (which is canonical — see Lookup), this
+	// relaxed tier stays order-sensitive by construction; it is an
+	// ablation mode, not the production path.
 	MatchPhrase
 	// MatchAND accepts a domain term containing every query token in
 	// any order.
@@ -470,9 +578,16 @@ func (c *Collection) ensureTokenIndex() {
 // LookupMode finds the domain for a query under the given match mode.
 // Exact matches always win; under the relaxed modes, ties between
 // several containing terms break toward the term with the highest
-// intra-domain weight (the most central match).
+// intra-domain weight (the most central match). MatchPhrase is the one
+// mode whose exact tier stays verbatim (no canonical token-set
+// fallback): the phrase ablation is order-sensitive by definition, and
+// a pinned test holds it to that.
 func (c *Collection) LookupMode(query string, mode MatchMode) (*Domain, bool) {
-	if d, ok := c.Lookup(query); ok {
+	if mode == MatchPhrase {
+		if id, ok := c.byTerm[textutil.Normalize(query)]; ok {
+			return &c.domains[id], true
+		}
+	} else if d, ok := c.Lookup(query); ok {
 		return d, true
 	}
 	if mode == MatchExact {
@@ -524,16 +639,5 @@ func (c *Collection) ExpandMode(query string, maxTerms int, mode MatchMode) []st
 	if !ok {
 		return nil
 	}
-	norm := textutil.Normalize(query)
-	out := make([]string, 0, min(maxTerms, len(d.Terms)))
-	for _, t := range d.Terms {
-		if t == norm {
-			continue
-		}
-		out = append(out, t)
-		if len(out) == maxTerms {
-			break
-		}
-	}
-	return out
+	return c.expandFrom(d, query, maxTerms)
 }

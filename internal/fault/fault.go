@@ -10,9 +10,11 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +41,12 @@ type Conn struct {
 	readCap  int // remaining inbound bytes; <0 = unlimited
 	fragment bool
 	delay    time.Duration
+	// rdeadline mirrors the owner's read deadline so an armed delay
+	// respects it: a stalled Read gives up when the deadline passes
+	// (with the same timeout error the net stack returns) instead of
+	// sleeping through it — without this, no client-side budget could
+	// ever observe a stalled peer in time.
+	rdeadline time.Time
 }
 
 // WrapConn returns c with no faults armed.
@@ -72,12 +80,42 @@ func (c *Conn) Fragment() {
 	c.mu.Unlock()
 }
 
+// SetDeadline implements net.Conn, mirroring the read half for the
+// armed delay.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn, mirroring it for the armed
+// delay.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
 // Read implements net.Conn under the armed faults.
 func (c *Conn) Read(p []byte) (int, error) {
 	c.mu.Lock()
 	delay, capped, budget, frag := c.delay, c.readCap >= 0, c.readCap, c.fragment
+	deadline := c.rdeadline
 	c.mu.Unlock()
 	if delay > 0 {
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem < delay {
+				// The stall outlives the owner's deadline: honor the
+				// deadline, not the fault.
+				if rem > 0 {
+					time.Sleep(rem)
+				}
+				return 0, os.ErrDeadlineExceeded
+			}
+		}
 		time.Sleep(delay)
 	}
 	if capped {
@@ -213,6 +251,21 @@ func (d *Dialer) TruncateNext(n int) {
 	d.mu.Unlock()
 }
 
+// StallAll stalls every Read of every live connection by delay, and
+// arms every future connection the same way (0 disarms). A stalled
+// read still honors its deadline — it fails with a timeout error when
+// the deadline lands inside the stall — so this is the wire-level
+// shape of a hung server under a client budget.
+func (d *Dialer) StallAll(delay time.Duration) {
+	d.mu.Lock()
+	d.delay = delay
+	conns := append([]*Conn(nil), d.conns...)
+	d.mu.Unlock()
+	for _, c := range conns {
+		c.SetDelay(delay)
+	}
+}
+
 // FragmentAll arms every future connection to deliver one byte per
 // syscall in both directions.
 func (d *Dialer) FragmentAll() {
@@ -290,11 +343,21 @@ func (f *Backend) Ingests() int64 { return f.ingests.Load() }
 // refused.
 func (f *Backend) IngestsKilled() int64 { return f.ingestKilled.Load() }
 
-// gate admits or refuses one call.
-func (f *Backend) gate() error {
+// gate admits or refuses one call (no caller deadline to honor).
+func (f *Backend) gate() error { return f.gateCtx(context.Background()) }
+
+// gateCtx admits or refuses one call, honoring the caller's context
+// while an armed delay stalls it.
+func (f *Backend) gateCtx(ctx context.Context) error {
 	n := f.calls.Add(1)
 	if d := f.delay.Load(); d > 0 {
-		time.Sleep(time.Duration(d))
+		t := time.NewTimer(time.Duration(d))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
 	}
 	if ka := f.killAfter.Load(); ka > 0 && n > ka {
 		f.killed.Store(true)
@@ -305,14 +368,16 @@ func (f *Backend) gate() error {
 	return nil
 }
 
-// Search implements shard.Backend through the fault gate.
-func (f *Backend) Search(terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, shard.View, error) {
-	if err := f.gate(); err != nil {
+// Search implements shard.Backend through the fault gate. An armed
+// delay stalls it, but the caller's deadline still wins — the stall
+// resolves to ctx.Err() the moment the budget runs out.
+func (f *Backend) Search(ctx context.Context, terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, shard.View, error) {
+	if err := f.gateCtx(ctx); err != nil {
 		f.searchesKilled.Add(1)
 		return raw[:0], 0, nil, err
 	}
 	f.searches.Add(1)
-	return f.inner.Search(terms, extended, raw)
+	return f.inner.Search(ctx, terms, extended, raw)
 }
 
 // Ingest implements shard.Backend through the fault gate.

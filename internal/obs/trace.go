@@ -6,12 +6,14 @@ import (
 )
 
 // Cache outcome labels a QueryTrace carries — the serving layer's
-// four-way disposition of a request.
+// disposition of a request.
 const (
 	OutcomeHit         = "hit"         // served from the result cache
 	OutcomeMiss        = "miss"        // ran the detector
 	OutcomeCoalesced   = "coalesced"   // waited on an identical in-flight request
 	OutcomeUncacheable = "uncacheable" // ran around the cache (unobservable epoch vector)
+	OutcomeShed        = "shed"        // cold miss refused under overload
+	OutcomeRejected    = "rejected"    // degenerate query refused before the cache
 )
 
 // ShardSpan is one shard's slice of a scatter-gather query: how long

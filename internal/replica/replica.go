@@ -53,6 +53,7 @@
 package replica
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -284,7 +285,7 @@ func (s *Set) IngestBatch(posts []microblog.Post) error {
 // A replica inside a backoff window is skipped without dialing (one
 // probe per window re-admits a recovered replica). Only when every
 // admissible replica has failed does the shard fail for this query.
-func (s *Set) Search(terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, shard.View, error) {
+func (s *Set) Search(ctx context.Context, terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, shard.View, error) {
 	epoch := s.epoch.Load()
 	n := len(s.replicas)
 	// Reduce the cursor in uint64 space: a raw int conversion would
@@ -306,7 +307,7 @@ func (s *Set) Search(terms []string, extended bool, raw []expertise.RawCandidate
 			s.obsBackoffSkips.Inc()
 			continue
 		}
-		rows, matched, v, err := s.replicas[i].Search(terms, extended, raw)
+		rows, matched, v, err := s.replicas[i].Search(ctx, terms, extended, raw)
 		if err == nil {
 			s.health[i].Ok()
 			s.reads[i].Add(1)
@@ -335,7 +336,7 @@ func (s *Set) Search(terms []string, extended bool, raw []expertise.RawCandidate
 // that implements the composite answers it directly; one that does not
 // is emulated with Search plus a Stats for its own candidates against
 // the same pinned view — identical totals either way.
-func (s *Set) SearchStats(terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) ([]expertise.RawCandidate, int, []expertise.UserStats, shard.View, error) {
+func (s *Set) SearchStats(ctx context.Context, terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) ([]expertise.RawCandidate, int, []expertise.UserStats, shard.View, error) {
 	epoch := s.epoch.Load()
 	n := len(s.replicas)
 	start := int(s.rr.Add(1) % uint64(n))
@@ -350,7 +351,7 @@ func (s *Set) SearchStats(terms []string, extended bool, raw []expertise.RawCand
 			s.obsBackoffSkips.Inc()
 			continue
 		}
-		rows, matched, rowStats, v, err := replicaSearchStats(s.replicas[i], terms, extended, raw, stats)
+		rows, matched, rowStats, v, err := replicaSearchStats(ctx, s.replicas[i], terms, extended, raw, stats)
 		if err == nil {
 			s.health[i].Ok()
 			s.reads[i].Add(1)
@@ -376,11 +377,11 @@ func (s *Set) SearchStats(terms []string, extended bool, raw []expertise.RawCand
 // replicaSearchStats runs the composite against one replica,
 // emulating it (search, then own-candidate stats on the pinned view)
 // when the replica predates shard.SearchStatser.
-func replicaSearchStats(b shard.Backend, terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) ([]expertise.RawCandidate, int, []expertise.UserStats, shard.View, error) {
+func replicaSearchStats(ctx context.Context, b shard.Backend, terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) ([]expertise.RawCandidate, int, []expertise.UserStats, shard.View, error) {
 	if ss, ok := b.(shard.SearchStatser); ok {
-		return ss.SearchStats(terms, extended, raw, stats)
+		return ss.SearchStats(ctx, terms, extended, raw, stats)
 	}
-	rows, matched, v, err := b.Search(terms, extended, raw)
+	rows, matched, v, err := b.Search(ctx, terms, extended, raw)
 	if err != nil {
 		return rows, 0, stats[:0], nil, err
 	}
@@ -388,7 +389,7 @@ func replicaSearchStats(b shard.Backend, terms []string, extended bool, raw []ex
 	for i := range rows {
 		users = append(users, rows[i].User)
 	}
-	stats, err = v.Stats(users, stats)
+	stats, err = v.Stats(ctx, users, stats)
 	if err != nil {
 		v.Release()
 		return rows[:0], 0, stats[:0], nil, err

@@ -7,6 +7,7 @@
 package replica_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -641,7 +642,7 @@ func TestSetBasics(t *testing.T) {
 	if err := set.Quiesce(); err != nil {
 		t.Fatal(err)
 	}
-	rows, matched, v, err := set.Search([]string{"49ers"}, false, nil)
+	rows, matched, v, err := set.Search(context.Background(), []string{"49ers"}, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -665,10 +666,10 @@ func TestSetBasics(t *testing.T) {
 	}
 	defer deadSet.Close()
 	f.Kill()
-	if _, _, _, err := deadSet.Search([]string{"nfl"}, false, nil); err == nil {
+	if _, _, _, err := deadSet.Search(context.Background(), []string{"nfl"}, false, nil); err == nil {
 		t.Fatal("search on a dead set succeeded")
 	}
-	if _, _, _, err := deadSet.Search([]string{"nfl"}, false, nil); err != replica.ErrNoReplica {
+	if _, _, _, err := deadSet.Search(context.Background(), []string{"nfl"}, false, nil); err != replica.ErrNoReplica {
 		t.Fatalf("second search want ErrNoReplica (backoff silences the probe), got %v", err)
 	}
 	if _, err := deadSet.Ingest(posts[0]); err == nil {

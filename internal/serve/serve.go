@@ -10,8 +10,17 @@
 //
 // A Server multiplexes concurrent Search and SearchBaseline requests
 // over one Backend and fronts them with an LRU result cache keyed on
-// the normalized query text. Two mechanisms keep the cache honest and
-// cheap under load:
+// the canonical token set of the query — lower-cased, sorted and
+// de-duplicated. The paper's AND-match predicate is invariant under
+// token permutation and repetition, and domain lookup resolves the
+// whole canonical class to one community (domains.Collection.Lookup),
+// so "go rust", "rust go" and "go go rust" are one query: they share a
+// cache slot and coalesce onto a single in-flight computation. The
+// backend still receives the normalized (order-preserving) text, so
+// the ablation-only phrase-match mode keeps its verbatim semantics —
+// at the cost that phrase-mode backends must not share a Server cache
+// across permutations (no shipped configuration does). Three
+// mechanisms keep the cache honest and cheap under load:
 //
 //   - Epoch invalidation: every cache entry is tagged with the
 //     backend's view identity at compute time. A live backend bumps
@@ -30,6 +39,19 @@
 //     ingest churn still collapse; the leader's entry carries the
 //     epoch (or epoch vector) it sampled before computing, which is
 //     conservatively already stale if the index moved mid-flight.
+//   - Admission control: degenerate queries (empty, or over
+//     Config.MaxQueryTerms tokens) are rejected with a typed error
+//     before touching the cache, and under overload a cold miss is
+//     shed with ErrOverloaded once Config.MaxInflightMisses detector
+//     computations are already running — warm cache hits are always
+//     answered, so a saturated backend degrades to a read-only cache
+//     instead of queueing unbounded detector work.
+//
+// SearchContext and SearchBaselineContext carry the caller's deadline
+// into the backend (ContextBackend, satisfied by every core detector):
+// the remaining budget rides the context down the scatter-gather into
+// per-shard RPC deadlines, and an expired budget surfaces as the
+// context's error — the gateway maps it to 504.
 //
 // Build detectors with core.OnlineConfig.MatchWorkers = 1 when serving
 // concurrently: request-level parallelism already saturates the cores.
@@ -41,6 +63,9 @@ package serve
 
 import (
 	"container/list"
+	"context"
+	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +90,33 @@ type Backend interface {
 	// full vector through EpochVector.
 	Epoch() uint64
 }
+
+// ContextBackend is a Backend that can run a query under a caller
+// deadline. Every core detector satisfies it; the sharded detector
+// threads the context down its scatter-gather into per-shard RPC
+// deadlines. A Server detects the interface at construction; without
+// it, SearchContext still rejects, sheds and coalesces under the
+// caller's context but runs the backend itself uncancellably.
+type ContextBackend interface {
+	SearchContext(ctx context.Context, query string) ([]expertise.Expert, core.SearchTrace, error)
+	SearchBaselineContext(ctx context.Context, query string) ([]expertise.Expert, error)
+}
+
+// Typed request-rejection errors. The gateway maps them onto HTTP
+// status codes (400, 400, 503); callers test with errors.Is.
+var (
+	// ErrEmptyQuery rejects a query that tokenizes to nothing. The
+	// AND-match predicate is defined over a non-empty term set
+	// (textutil.ContainsAll matches no tweet on zero tokens), so such a
+	// request can only ever return an empty result — rejecting it at
+	// admission spares a pointless scatter across every shard.
+	ErrEmptyQuery = errors.New("serve: empty query")
+	// ErrTooManyTerms rejects a query over Config.MaxQueryTerms tokens.
+	ErrTooManyTerms = errors.New("serve: too many query terms")
+	// ErrOverloaded sheds a cold cache miss under overload
+	// (Config.MaxInflightMisses); warm hits are never shed.
+	ErrOverloaded = errors.New("serve: overloaded, cold query shed")
+)
 
 // VectorBackend is a Backend whose view identity is a vector of
 // per-shard epochs (core.ShardedLiveDetector over a shard.Router or a
@@ -136,19 +188,35 @@ type Config struct {
 	// trace has (zero keeps every request, useful in tests and demos).
 	SlowLogSize      int
 	SlowLogThreshold time.Duration
+	// MaxQueryTerms caps the number of tokens a query may carry;
+	// longer queries are rejected with ErrTooManyTerms. Zero means
+	// unlimited. Empty queries are always rejected (ErrEmptyQuery).
+	MaxQueryTerms int
+	// MaxInflightMisses, when positive, bounds concurrent detector
+	// computations: a cold miss that would start one beyond the bound
+	// is shed with ErrOverloaded instead of queueing. Warm cache hits
+	// and coalescing followers are never shed, so an overloaded server
+	// degrades to a read-only cache. Zero disables shedding.
+	MaxInflightMisses int
 }
 
 // DefaultConfig returns the serving defaults.
-func DefaultConfig() Config { return Config{CacheSize: 4096} }
+func DefaultConfig() Config { return Config{CacheSize: 4096, MaxQueryTerms: 64} }
 
 // Stats is a snapshot of the server's counters.
 type Stats struct {
 	// Queries is the total number of requests served.
 	Queries int64
-	// CacheHits and CacheMisses split Queries by outcome: a miss ran
-	// the detector, a hit did not (served from cache or coalesced onto
-	// another request's computation). They always sum to Queries.
+	// CacheHits and CacheMisses split the admitted portion of Queries
+	// by outcome: a miss ran the detector (or aborted waiting to), a
+	// hit did not (served from cache or coalesced onto another
+	// request's computation). CacheHits + CacheMisses + Shed + Rejected
+	// always sums to Queries.
 	CacheHits, CacheMisses int64
+	// Shed counts cold misses refused with ErrOverloaded under
+	// Config.MaxInflightMisses; Rejected counts degenerate queries
+	// refused before the cache (ErrEmptyQuery, ErrTooManyTerms).
+	Shed, Rejected int64
 	// Coalesced counts the subset of CacheHits that waited on an
 	// in-flight identical request instead of reading a stored entry.
 	Coalesced int64
@@ -186,7 +254,10 @@ type Stats struct {
 	Reshard *shard.MigrationStats
 }
 
-// cacheKey distinguishes the two endpoints for one normalized query.
+// cacheKey distinguishes the two endpoints for one canonical query —
+// the sorted, de-duplicated token set, under which both the AND-match
+// predicate and domain lookup are invariant, so every permutation and
+// repetition of a query shares one slot.
 type cacheKey struct {
 	query    string
 	baseline bool
@@ -204,10 +275,13 @@ type cacheEntry struct {
 }
 
 // flight is one in-progress computation that duplicate requests wait
-// on. experts is written once, before wg.Done releases the waiters.
+// on. experts and err are written once, before done closes and
+// releases the waiters; a channel (not a WaitGroup) so a follower can
+// stop waiting when its own context expires first.
 type flight struct {
-	wg      sync.WaitGroup
+	done    chan struct{}
 	experts []expertise.Expert
+	err     error
 }
 
 // Server answers concurrent expert-search requests over a shared
@@ -225,9 +299,12 @@ type Server struct {
 	failover FailoverReporter
 	reshard  ReshardReporter
 
+	ctxBackend ContextBackend
+
 	queries, hits, misses    atomic.Int64
 	coalesced, invalidations atomic.Int64
 	uncacheable              atomic.Int64
+	shed, rejected           atomic.Int64
 
 	// Observability (nil without Config.Obs): end-to-end latency
 	// histogram and the slow-query ring. The Stats counters above are
@@ -263,6 +340,9 @@ func New(b Backend, cfg Config) *Server {
 	if rr, ok := b.(ReshardReporter); ok {
 		s.reshard = rr
 	}
+	if cb, ok := b.(ContextBackend); ok {
+		s.ctxBackend = cb
+	}
 	if cfg.CacheSize > 0 {
 		s.order = list.New()
 		s.slots = make(map[cacheKey]*list.Element, cfg.CacheSize)
@@ -281,6 +361,8 @@ func New(b Backend, cfg Config) *Server {
 		cfg.Obs.RegisterFunc("serve_coalesced", s.coalesced.Load)
 		cfg.Obs.RegisterFunc("serve_invalidations", s.invalidations.Load)
 		cfg.Obs.RegisterFunc("serve_uncacheable", s.uncacheable.Load)
+		cfg.Obs.RegisterFunc("serve_shed", s.shed.Load)
+		cfg.Obs.RegisterFunc("serve_rejected", s.rejected.Load)
 		cfg.Obs.RegisterFunc("serve_cache_entries", func() int64 {
 			if s.slots == nil {
 				return 0
@@ -301,20 +383,38 @@ func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
 func (s *Server) Backend() Backend { return s.backend }
 
 // Search answers one e# query. The returned slice may be shared with
-// the cache and other callers — treat it as read-only.
+// the cache and other callers — treat it as read-only. Degenerate
+// queries return nil (use SearchContext for the typed error).
 func (s *Server) Search(query string) []expertise.Expert {
-	return s.serve(query, false)
+	experts, _ := s.serve(context.Background(), query, false)
+	return experts
 }
 
 // SearchBaseline answers one unexpanded Pal & Counts baseline query.
 // The returned slice may be shared — treat it as read-only.
 func (s *Server) SearchBaseline(query string) []expertise.Expert {
-	return s.serve(query, true)
+	experts, _ := s.serve(context.Background(), query, true)
+	return experts
 }
 
-func (s *Server) serve(query string, baseline bool) []expertise.Expert {
+// SearchContext answers one e# query under the caller's context: the
+// deadline propagates into the backend (ContextBackend), admission
+// failures surface as ErrEmptyQuery / ErrTooManyTerms / ErrOverloaded,
+// and an expired budget as the context's error. The returned slice may
+// be shared with the cache and other callers — treat it as read-only.
+func (s *Server) SearchContext(ctx context.Context, query string) ([]expertise.Expert, error) {
+	return s.serve(ctx, query, false)
+}
+
+// SearchBaselineContext is SearchContext for the unexpanded Pal &
+// Counts baseline endpoint.
+func (s *Server) SearchBaselineContext(ctx context.Context, query string) ([]expertise.Expert, error) {
+	return s.serve(ctx, query, true)
+}
+
+func (s *Server) serve(ctx context.Context, query string, baseline bool) ([]expertise.Expert, error) {
 	if !s.obsOn {
-		return s.serveTraced(query, baseline, nil)
+		return s.serveTraced(ctx, query, baseline, nil)
 	}
 	// Instrumented path: time the request end to end, capture the
 	// outcome and (for misses against an instrumented sharded backend)
@@ -325,7 +425,7 @@ func (s *Server) serve(query string, baseline bool) []expertise.Expert {
 		failovers0 = s.failover.Failovers()
 	}
 	start := time.Now()
-	experts := s.serveTraced(query, baseline, &qt)
+	experts, err := s.serveTraced(ctx, query, baseline, &qt)
 	qt.TotalNS = time.Since(start).Nanoseconds()
 	if s.failover != nil {
 		// Best-effort under concurrency: the delta of the backend's
@@ -334,17 +434,43 @@ func (s *Server) serve(query string, baseline bool) []expertise.Expert {
 	}
 	s.obsReqNS.Observe(qt.TotalNS)
 	s.slow.Record(qt)
-	return experts
+	return experts, err
 }
 
 // serveTraced is the request path proper. qt, non-nil only on the
 // instrumented path, receives the normalized query, the cache outcome
 // and the detector-side trace fields.
-func (s *Server) serveTraced(query string, baseline bool, qt *obs.QueryTrace) []expertise.Expert {
+func (s *Server) serveTraced(ctx context.Context, query string, baseline bool, qt *obs.QueryTrace) ([]expertise.Expert, error) {
 	s.queries.Add(1)
-	key := cacheKey{query: textutil.Normalize(query), baseline: baseline}
+	// Admission: tokenize once, reject degenerate queries before any
+	// cache work. The backend receives the normalized (order-kept)
+	// text; the cache keys on the canonical token set, so permutations
+	// and repetitions of one query share a slot and a flight.
+	toks := textutil.Tokenize(query)
+	if len(toks) == 0 {
+		s.rejected.Add(1)
+		if qt != nil {
+			qt.Outcome = obs.OutcomeRejected
+		}
+		return nil, ErrEmptyQuery
+	}
+	if s.cfg.MaxQueryTerms > 0 && len(toks) > s.cfg.MaxQueryTerms {
+		s.rejected.Add(1)
+		if qt != nil {
+			qt.Query = strings.Join(toks, " ")
+			qt.Outcome = obs.OutcomeRejected
+		}
+		return nil, ErrTooManyTerms
+	}
+	norm := strings.Join(toks, " ")
+	canon := norm
+	if !tokensCanonical(toks) {
+		// CanonicalTokens sorts in place; norm is already materialized.
+		canon = strings.Join(textutil.CanonicalTokens(toks), " ")
+	}
+	key := cacheKey{query: canon, baseline: baseline}
 	if qt != nil {
-		qt.Query = key.query
+		qt.Query = norm
 	}
 	// Sample the view identity before any cache decision: for a vector
 	// backend the full per-shard vector (into a pooled buffer), for a
@@ -374,43 +500,76 @@ func (s *Server) serveTraced(query string, baseline bool, qt *obs.QueryTrace) []
 		epoch = s.backend.Epoch()
 	}
 
-	s.mu.Lock()
-	if !uncacheable {
-		if experts, ok := s.lookupLocked(key, epoch, evec); ok {
-			s.mu.Unlock()
-			s.hits.Add(1)
-			if qt != nil {
-				qt.Outcome = obs.OutcomeHit
+	var f *flight
+	for {
+		s.mu.Lock()
+		if !uncacheable {
+			if experts, ok := s.lookupLocked(key, epoch, evec); ok {
+				s.mu.Unlock()
+				s.hits.Add(1)
+				if qt != nil {
+					qt.Outcome = obs.OutcomeHit
+				}
+				return experts, nil
 			}
-			return experts
 		}
-	}
-	if f := s.inflight[key]; f != nil {
-		// An identical request is already computing: coalesce onto it.
-		// The follower observes the view the leader started under —
-		// standard singleflight semantics.
+		prev := s.inflight[key]
+		if prev == nil {
+			break
+		}
+		// An identical request is already computing: coalesce onto it —
+		// unless this request's own deadline fires first. The follower
+		// observes the view the leader started under — standard
+		// singleflight semantics.
 		s.mu.Unlock()
-		f.wg.Wait()
-		s.hits.Add(1)
-		s.coalesced.Add(1)
-		if qt != nil {
-			qt.Outcome = obs.OutcomeCoalesced
+		select {
+		case <-prev.done:
+		case <-ctx.Done():
+			// Counted as a miss: the caller got no result, so "hit"
+			// would overstate cache efficacy. Keeps the invariant
+			// queries = hits + misses + shed + rejected.
+			s.misses.Add(1)
+			if qt != nil {
+				qt.Outcome = obs.OutcomeMiss
+			}
+			return nil, ctx.Err()
 		}
-		return f.experts
+		if prev.err == nil {
+			s.hits.Add(1)
+			s.coalesced.Add(1)
+			if qt != nil {
+				qt.Outcome = obs.OutcomeCoalesced
+			}
+			return prev.experts, nil
+		}
+		// The leader failed — typically its own budget expired, which
+		// says nothing about this request's. Loop and try again as
+		// leader (or onto a fresher flight) under our own context.
 	}
-	f := &flight{}
-	f.wg.Add(1)
+	// Cold miss. Under overload, shed it rather than queue detector
+	// work: warm hits above are always answered, so a saturated server
+	// degrades to a read-only cache.
+	if s.cfg.MaxInflightMisses > 0 && len(s.inflight) >= s.cfg.MaxInflightMisses {
+		s.mu.Unlock()
+		s.shed.Add(1)
+		if qt != nil {
+			qt.Outcome = obs.OutcomeShed
+		}
+		return nil, ErrOverloaded
+	}
+	f = &flight{done: make(chan struct{})}
 	s.inflight[key] = f
 	s.mu.Unlock()
 
 	s.misses.Add(1)
 	// Deregister and release the waiters even if the backend panics —
 	// otherwise the key would block every future request forever. Only
-	// a completed computation is cached; a panic caches nothing.
+	// a completed, error-free computation is cached; a panic or a
+	// deadline expiry caches nothing.
 	completed := false
 	defer func() {
 		s.mu.Lock()
-		if completed && !uncacheable {
+		if completed && !uncacheable && f.err == nil {
 			// Tag the entry with the epoch (or vector) sampled before
 			// computing: if the index moved mid-flight, the entry is
 			// conservatively already stale and the next lookup
@@ -419,7 +578,7 @@ func (s *Server) serveTraced(query string, baseline bool, qt *obs.QueryTrace) []
 		}
 		delete(s.inflight, key)
 		s.mu.Unlock()
-		f.wg.Done()
+		close(f.done)
 	}()
 	if qt != nil {
 		if uncacheable {
@@ -429,10 +588,18 @@ func (s *Server) serveTraced(query string, baseline bool, qt *obs.QueryTrace) []
 		}
 	}
 	if baseline {
-		f.experts = s.backend.SearchBaseline(key.query)
+		if s.ctxBackend != nil {
+			f.experts, f.err = s.ctxBackend.SearchBaselineContext(ctx, norm)
+		} else {
+			f.experts = s.backend.SearchBaseline(norm)
+		}
 	} else {
 		var tr core.SearchTrace
-		f.experts, tr = s.backend.Search(key.query)
+		if s.ctxBackend != nil {
+			f.experts, tr, f.err = s.ctxBackend.SearchContext(ctx, norm)
+		} else {
+			f.experts, tr = s.backend.Search(norm)
+		}
 		if qt != nil {
 			qt.MatchedTweets = tr.MatchedTweets
 			qt.MergeRankNS = tr.MergeRankNS
@@ -440,7 +607,20 @@ func (s *Server) serveTraced(query string, baseline bool, qt *obs.QueryTrace) []
 		}
 	}
 	completed = true
-	return f.experts
+	return f.experts, f.err
+}
+
+// tokensCanonical reports whether toks is already strictly increasing
+// — sorted with no duplicates — so the normalized string can double as
+// the canonical key without a second join. Single-token queries, the
+// common case, always pass.
+func tokensCanonical(toks []string) bool {
+	for i := 1; i < len(toks); i++ {
+		if toks[i] <= toks[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // staleVec reports whether an entry tagged with vector entryVec is
@@ -533,6 +713,8 @@ func (s *Server) ResetStats() {
 	s.coalesced.Store(0)
 	s.invalidations.Store(0)
 	s.uncacheable.Store(0)
+	s.shed.Store(0)
+	s.rejected.Store(0)
 }
 
 // Stats snapshots the counters.
@@ -544,6 +726,8 @@ func (s *Server) Stats() Stats {
 		Coalesced:     s.coalesced.Load(),
 		Invalidations: s.invalidations.Load(),
 		Uncacheable:   s.uncacheable.Load(),
+		Shed:          s.shed.Load(),
+		Rejected:      s.rejected.Load(),
 		Epoch:         s.backend.Epoch(),
 	}
 	if s.vec != nil {

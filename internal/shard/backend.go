@@ -12,6 +12,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -45,7 +46,12 @@ type Backend interface {
 	// extended asks extraction to also count hashtagged posts (the
 	// extended feature set); it travels with the request because a
 	// remote shard does not share the coordinator's parameter set.
-	Search(terms []string, extended bool, raw []expertise.RawCandidate) (rows []expertise.RawCandidate, matched int, v View, err error)
+	// ctx carries the caller's remaining deadline budget: a local
+	// backend checks it once at entry, a remote one derives each RPC's
+	// wire deadline from it and fails with ctx.Err() when the budget is
+	// already spent — the front door's 504 instead of a default-timeout
+	// hang.
+	Search(ctx context.Context, terms []string, extended bool, raw []expertise.RawCandidate) (rows []expertise.RawCandidate, matched int, v View, err error)
 	// Ingest appends one post to the shard's stream and returns the
 	// shard-local tweet id it was assigned.
 	Ingest(p microblog.Post) (microblog.TweetID, error)
@@ -76,8 +82,9 @@ type Backend interface {
 type SearchStatser interface {
 	// SearchStats is Backend.Search fused with a View.Stats for the
 	// returned rows' own users: stats[i] belongs to rows[i].User. The
-	// caller must Release the view exactly as with Search.
-	SearchStats(terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) (rows []expertise.RawCandidate, matched int, rowStats []expertise.UserStats, v View, err error)
+	// caller must Release the view exactly as with Search. ctx carries
+	// the deadline budget exactly as in Backend.Search.
+	SearchStats(ctx context.Context, terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) (rows []expertise.RawCandidate, matched int, rowStats []expertise.UserStats, v View, err error)
 }
 
 // EpochLocality is optionally implemented by backends whose Epoch is a
@@ -114,8 +121,8 @@ type View interface {
 	// Stats appends the shard's denominator triple for each user to dst
 	// (capacity reused, contents discarded), evaluated against the
 	// pinned state. users must be ascending (the wire encoding is
-	// delta-compressed).
-	Stats(users []world.UserID, dst []expertise.UserStats) ([]expertise.UserStats, error)
+	// delta-compressed). ctx bounds the fetch like Backend.Search.
+	Stats(ctx context.Context, users []world.UserID, dst []expertise.UserStats) ([]expertise.UserStats, error)
 	// Release returns the view's resources. No method may be called
 	// afterwards.
 	Release()
@@ -167,8 +174,13 @@ func (l *Local) Index() *ingest.Index { return l.idx }
 // every term runs the zero-copy per-segment match, the per-term lists
 // union through the k-way merge, and raw candidates are extracted from
 // the union — the identical per-shard unit of work the PR 3 in-process
-// fan-out ran inline.
-func (l *Local) Search(terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, View, error) {
+// fan-out ran inline. The context is checked once at entry — an
+// in-process match never blocks, so a live budget runs it to
+// completion; an already-expired one fails before pinning a snapshot.
+func (l *Local) Search(ctx context.Context, terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, View, error) {
+	if err := ctx.Err(); err != nil {
+		return raw[:0], 0, nil, err
+	}
 	snap := l.idx.Snapshot()
 	s := l.pool.Get().(*localScratch)
 	for len(s.lists) < len(terms) {
@@ -196,8 +208,8 @@ func (l *Local) Search(terms []string, extended bool, raw []expertise.RawCandida
 // (own-candidate stats here, foreign top-up through the view), which
 // keeps the mixed local/remote topology on a single code path and the
 // equivalence spine easy to hold.
-func (l *Local) SearchStats(terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) ([]expertise.RawCandidate, int, []expertise.UserStats, View, error) {
-	rows, matched, v, err := l.Search(terms, extended, raw)
+func (l *Local) SearchStats(ctx context.Context, terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) ([]expertise.RawCandidate, int, []expertise.UserStats, View, error) {
+	rows, matched, v, err := l.Search(ctx, terms, extended, raw)
 	if err != nil {
 		return rows, matched, stats[:0], nil, err
 	}
@@ -206,7 +218,7 @@ func (l *Local) SearchStats(terms []string, extended bool, raw []expertise.RawCa
 	for i := range rows {
 		s.users = append(s.users, rows[i].User)
 	}
-	stats, err = v.Stats(s.users, stats)
+	stats, err = v.Stats(ctx, s.users, stats)
 	l.pool.Put(s)
 	if err != nil {
 		v.Release()
@@ -265,8 +277,13 @@ type localView struct {
 	snap  *ingest.Snapshot
 }
 
-// Stats implements View against the pinned snapshot.
-func (v *localView) Stats(users []world.UserID, dst []expertise.UserStats) ([]expertise.UserStats, error) {
+// Stats implements View against the pinned snapshot. Like Search, the
+// context is checked once at entry — the evaluation itself is
+// non-blocking.
+func (v *localView) Stats(ctx context.Context, users []world.UserID, dst []expertise.UserStats) ([]expertise.UserStats, error) {
+	if err := ctx.Err(); err != nil {
+		return dst[:0], err
+	}
 	return expertise.SourceStatsInto(dst, v.snap, users), nil
 }
 

@@ -1,6 +1,7 @@
 package shard_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -434,12 +435,12 @@ func TestLocalViewPinsSnapshot(t *testing.T) {
 	defer idx.Close()
 	l := shard.NewLocal(idx)
 
-	rows, _, v, err := l.Search([]string{"49ers"}, false, nil)
+	rows, _, v, err := l.Search(context.Background(), []string{"49ers"}, false, nil)
 	if err != nil || len(rows) == 0 {
 		t.Fatalf("search: %d rows, err %v", len(rows), err)
 	}
 	u := rows[0].User
-	before, err := v.Stats([]world.UserID{u}, nil)
+	before, err := v.Stats(context.Background(), []world.UserID{u}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,7 +449,7 @@ func TestLocalViewPinsSnapshot(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		idx.Ingest(microblog.Post{Author: u, Text: "vibes 49ers tonight", Topic: -1})
 	}
-	after, err := v.Stats([]world.UserID{u}, nil)
+	after, err := v.Stats(context.Background(), []world.UserID{u}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,7 +461,7 @@ func TestLocalViewPinsSnapshot(t *testing.T) {
 	// A fresh view observes the writes.
 	fresh := l.View()
 	defer fresh.Release()
-	now, err := fresh.Stats([]world.UserID{u}, nil)
+	now, err := fresh.Stats(context.Background(), []world.UserID{u}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -478,8 +479,8 @@ type flakyEpochBackend struct {
 	fail  bool
 }
 
-func (f *flakyEpochBackend) Search(terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, shard.View, error) {
-	return f.inner.Search(terms, extended, raw)
+func (f *flakyEpochBackend) Search(ctx context.Context, terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, shard.View, error) {
+	return f.inner.Search(ctx, terms, extended, raw)
 }
 func (f *flakyEpochBackend) Ingest(p microblog.Post) (microblog.TweetID, error) {
 	return f.inner.Ingest(p)

@@ -11,6 +11,7 @@
 package textutil
 
 import (
+	"sort"
 	"strings"
 	"unicode"
 )
@@ -34,6 +35,33 @@ func Tokenize(s string) []string {
 		}
 	}
 	return out
+}
+
+// CanonicalTokens sorts tokens ascending and removes duplicates, in
+// place, returning the (possibly shortened) slice. Two queries that are
+// permutations or repetitions of one another reduce to the same
+// canonical token slice — the equivalence class under which the
+// AND-match predicate (ContainsAll) is invariant. Callers must own the
+// slice: its order is destroyed.
+func CanonicalTokens(tokens []string) []string {
+	if len(tokens) < 2 {
+		return tokens
+	}
+	sort.Strings(tokens)
+	out := tokens[:1]
+	for _, t := range tokens[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Canonical reduces s to its canonical token-set form: lower-cased,
+// tokenized, sorted, de-duplicated and re-joined with single spaces.
+// "Rust go", "go rust" and "go go rust" all canonicalize to "go rust".
+func Canonical(s string) string {
+	return strings.Join(CanonicalTokens(Tokenize(s)), " ")
 }
 
 // ContainsAll reports whether every token of query appears among the

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -480,24 +481,53 @@ func (r *RemoteShard) Info() (InfoResp, error) {
 	return info, err
 }
 
+// reqTimeout derives one RPC's wire deadline from the caller's
+// remaining context budget: the configured per-request timeout, clamped
+// to whatever the context has left. An already-spent budget fails here
+// — before any dial or write — with ctx.Err(), which is how a
+// front-door deadline turns into a fast 504 instead of a
+// default-timeout hang. RemoteShard starts no per-request goroutines,
+// so cancellation leaks nothing by construction.
+func (r *RemoteShard) reqTimeout(ctx context.Context, base time.Duration) (time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if rem := time.Until(d); rem <= 0 {
+			return 0, context.DeadlineExceeded
+		} else if rem < base {
+			return rem, nil
+		}
+	}
+	return base, nil
+}
+
 // Search implements shard.Backend: one OpSearch round trip whose
 // response carries the shard's raw candidate rows and matched-union
 // size, and whose connection — with the snapshot the server pinned to
 // it — becomes the returned View, so the follow-up denominator fetch
-// reads the exact state the rows were extracted from.
-func (r *RemoteShard) Search(terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, shard.View, error) {
+// reads the exact state the rows were extracted from. The wire deadline
+// is the configured timeout clamped by ctx's remaining budget.
+func (r *RemoteShard) Search(ctx context.Context, terms []string, extended bool, raw []expertise.RawCandidate) ([]expertise.RawCandidate, int, shard.View, error) {
+	timeout, err := r.reqTimeout(ctx, r.cfg.Timeout)
+	if err != nil {
+		return raw[:0], 0, nil, err
+	}
 	cc, err := r.checkout()
 	if err != nil {
 		return raw[:0], 0, nil, err
 	}
 	payload := AppendSearchReq(nil, SearchReq{Extended: extended, Terms: terms})
-	resp, okConn, err := r.roundTrip(cc, OpSearch, payload, r.cfg.Timeout)
+	resp, okConn, err := r.roundTrip(cc, OpSearch, payload, timeout)
 	if err != nil && !okConn && cc.pooled {
 		cc.c.Close()
+		if timeout, err = r.reqTimeout(ctx, r.cfg.Timeout); err != nil {
+			return raw[:0], 0, nil, err
+		}
 		if cc, err = r.dialConn(); err != nil {
 			return raw[:0], 0, nil, err
 		}
-		resp, okConn, err = r.roundTrip(cc, OpSearch, payload, r.cfg.Timeout)
+		resp, okConn, err = r.roundTrip(cc, OpSearch, payload, timeout)
 	}
 	if err != nil {
 		if okConn {
@@ -523,19 +553,26 @@ func (r *RemoteShard) Search(terms []string, extended bool, raw []expertise.RawC
 // way. On a multi-shard one the returned View still works for the
 // coordinator's top-up OpStats (foreign candidates' denominators)
 // against the pinned snapshot.
-func (r *RemoteShard) SearchStats(terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) ([]expertise.RawCandidate, int, []expertise.UserStats, shard.View, error) {
+func (r *RemoteShard) SearchStats(ctx context.Context, terms []string, extended bool, raw []expertise.RawCandidate, stats []expertise.UserStats) ([]expertise.RawCandidate, int, []expertise.UserStats, shard.View, error) {
+	timeout, err := r.reqTimeout(ctx, r.cfg.Timeout)
+	if err != nil {
+		return raw[:0], 0, stats[:0], nil, err
+	}
 	cc, err := r.checkout()
 	if err != nil {
 		return raw[:0], 0, stats[:0], nil, err
 	}
 	payload := AppendSearchReq(nil, SearchReq{Extended: extended, Terms: terms})
-	resp, okConn, err := r.roundTrip(cc, OpSearchStats, payload, r.cfg.Timeout)
+	resp, okConn, err := r.roundTrip(cc, OpSearchStats, payload, timeout)
 	if err != nil && !okConn && cc.pooled {
 		cc.c.Close()
+		if timeout, err = r.reqTimeout(ctx, r.cfg.Timeout); err != nil {
+			return raw[:0], 0, stats[:0], nil, err
+		}
 		if cc, err = r.dialConn(); err != nil {
 			return raw[:0], 0, stats[:0], nil, err
 		}
-		resp, okConn, err = r.roundTrip(cc, OpSearchStats, payload, r.cfg.Timeout)
+		resp, okConn, err = r.roundTrip(cc, OpSearchStats, payload, timeout)
 	}
 	if err != nil {
 		if okConn {
@@ -575,14 +612,19 @@ type remoteView struct {
 }
 
 // Stats implements shard.View with one OpStats round trip on the
-// pinned connection. No retry: a fresh connection would see a fresh
+// pinned connection, under the configured timeout clamped by ctx's
+// remaining budget. No retry: a fresh connection would see a fresh
 // snapshot, not the one the candidates came from — fail fast instead.
-func (v *remoteView) Stats(users []world.UserID, dst []expertise.UserStats) ([]expertise.UserStats, error) {
+func (v *remoteView) Stats(ctx context.Context, users []world.UserID, dst []expertise.UserStats) ([]expertise.UserStats, error) {
 	if v.broken {
 		return dst[:0], fmt.Errorf("transport: %s: view connection already failed", v.r.addr)
 	}
+	timeout, err := v.r.reqTimeout(ctx, v.r.cfg.Timeout)
+	if err != nil {
+		return dst[:0], err
+	}
 	payload := expertise.AppendUserIDs(nil, users)
-	resp, okConn, err := v.r.roundTrip(v.cc, OpStats, payload, v.r.cfg.Timeout)
+	resp, okConn, err := v.r.roundTrip(v.cc, OpStats, payload, timeout)
 	if okConn {
 		// The request reached the server, which releases its snapshot
 		// pin after answering the stats of a search→stats conversation.

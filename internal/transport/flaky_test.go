@@ -10,6 +10,7 @@
 package transport_test
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -135,12 +136,12 @@ func TestShortReadsWritesPreserveFrames(t *testing.T) {
 	defer frag.Close()
 
 	terms := []string{"49ers", "nfl"}
-	wantRows, wantMatched, wantView, err := clean.Search(terms, false, nil)
+	wantRows, wantMatched, wantView, err := clean.Search(context.Background(), terms, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer wantView.Release()
-	gotRows, gotMatched, gotView, err := frag.Search(terms, false, nil)
+	gotRows, gotMatched, gotView, err := frag.Search(context.Background(), terms, false, nil)
 	if err != nil {
 		t.Fatalf("fragmented search failed: %v", err)
 	}

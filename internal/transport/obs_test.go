@@ -1,6 +1,7 @@
 package transport_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestObsPromotesRequestCounters(t *testing.T) {
 
 	// Drive a few distinct ops so several per-op rows move.
 	for i := 0; i < 3; i++ {
-		if _, _, _, err := c.Search([]string{"storm"}, true, nil); err != nil {
+		if _, _, _, err := c.Search(context.Background(), []string{"storm"}, true, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -125,7 +126,7 @@ func TestObsUninstrumentedServerStillCounts(t *testing.T) {
 	if err := c.Handshake(0, 1, len(p.World.Users), part.NumTweets()); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := c.Search([]string{"storm"}, true, nil); err != nil {
+	if _, _, _, err := c.Search(context.Background(), []string{"storm"}, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := srv.Requests(transport.OpSearch); got != 1 {

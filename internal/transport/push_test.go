@@ -10,6 +10,7 @@ package transport_test
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"sync"
@@ -428,7 +429,7 @@ func TestSearchStatsSurvivesWireTruncation(t *testing.T) {
 	clean := transport.NewRemoteShard(addr, testClientConfig())
 	defer clean.Close()
 	terms := []string{"49ers", "nfl"}
-	wantRows, wantMatched, wantStats, v, err := clean.SearchStats(terms, false, nil, nil)
+	wantRows, wantMatched, wantStats, v, err := clean.SearchStats(context.Background(), terms, false, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,7 +443,7 @@ func TestSearchStatsSurvivesWireTruncation(t *testing.T) {
 		cfg.NoSubscribe = true
 		cfg.Timeout = 500 * time.Millisecond
 		c := transport.NewRemoteShard(addr, cfg)
-		rows, matched, stats, view, err := c.SearchStats(terms, false, nil, nil)
+		rows, matched, stats, view, err := c.SearchStats(context.Background(), terms, false, nil, nil)
 		if err == nil {
 			if matched != wantMatched || len(rows) != len(wantRows) || len(stats) != len(wantStats) {
 				t.Fatalf("limit %d: truncated conn returned matched %d rows %d stats %d, clean %d/%d/%d",

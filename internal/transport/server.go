@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
@@ -79,7 +80,7 @@ type ShardServer struct {
 	incarnation uint64
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connState
 	closed bool
 
 	// reqs counts request frames by op (after any OpDeflate unwrap);
@@ -123,7 +124,7 @@ func Serve(ln net.Listener, idx *ingest.Index, cfg ServerConfig) *ShardServer {
 		cfg:         cfg,
 		ln:          ln,
 		incarnation: newIncarnation(),
-		conns:       make(map[net.Conn]struct{}),
+		conns:       make(map[net.Conn]*connState),
 	}
 	if cfg.Obs != nil {
 		s.obsOn = true
@@ -195,6 +196,53 @@ func (s *ShardServer) Close() error {
 	return err
 }
 
+// Shutdown is the graceful form of Close: it stops accepting
+// immediately, reaps idle connections (pooled keepalives and push
+// subscribers, whose pushers stop through the handler teardown), and
+// keeps connections that are mid-conversation — dispatching a request,
+// or holding a search op's snapshot pin for its paired OpStats — alive
+// for up to grace so the conversation finishes and the response
+// reaches the peer. Whatever remains when the grace expires is closed
+// abruptly. Safe to call concurrently with Close; both are idempotent.
+func (s *ShardServer) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.ln.Close()
+	s.mu.Unlock()
+	deadline := time.Now().Add(grace)
+	for {
+		busy := 0
+		s.mu.Lock()
+		for c, st := range s.conns {
+			if st.busy.Load() {
+				busy++
+				continue
+			}
+			// The handler wakes from its blocking read with an error and
+			// tears the connection down (forget, view release, pusher
+			// stop) — reuse of the normal exit path keeps one cleanup.
+			c.Close()
+		}
+		s.mu.Unlock()
+		if busy == 0 || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.acceptWG.Wait()
+	s.connWG.Wait()
+	return err
+}
+
 // acceptLoop admits connections until the listener closes.
 func (s *ShardServer) acceptLoop() {
 	defer s.acceptWG.Done()
@@ -203,16 +251,22 @@ func (s *ShardServer) acceptLoop() {
 		if err != nil {
 			return
 		}
+		st := &connState{
+			br:              bufio.NewReader(conn),
+			bw:              bufio.NewWriter(conn),
+			obsBytesW:       s.obsBytesWritten,
+			obsDeflateSaved: s.obsDeflateSaved,
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = st
 		s.connWG.Add(1)
 		s.mu.Unlock()
-		go s.handle(conn)
+		go s.handle(conn, st)
 	}
 }
 
@@ -240,6 +294,13 @@ type connState struct {
 	uids []world.UserID
 	view shard.View
 
+	// busy marks a connection mid-conversation: a request frame is
+	// being dispatched, or the last search op left a snapshot pinned
+	// for its paired OpStats. Shutdown's drain keeps busy connections
+	// alive until the conversation closes (or the grace period runs
+	// out) and reaps the rest immediately.
+	busy atomic.Bool
+
 	// wmu serializes every frame write on bw: responses from the
 	// handler loop and pushes from the connection's pusher goroutine.
 	wmu sync.Mutex
@@ -262,16 +323,10 @@ type connState struct {
 
 // handle runs one connection's sequential request loop until the peer
 // hangs up, a frame fails to parse, or the server closes.
-func (s *ShardServer) handle(conn net.Conn) {
+func (s *ShardServer) handle(conn net.Conn, st *connState) {
 	defer s.connWG.Done()
 	defer s.forget(conn)
 	defer conn.Close()
-	st := &connState{
-		br:              bufio.NewReader(conn),
-		bw:              bufio.NewWriter(conn),
-		obsBytesW:       s.obsBytesWritten,
-		obsDeflateSaved: s.obsDeflateSaved,
-	}
 	defer func() {
 		if st.stop != nil {
 			close(st.stop)
@@ -307,6 +362,7 @@ func (s *ShardServer) handle(conn net.Conn) {
 			payload = st.dec
 		}
 		s.reqs[op&0x7f].Add(1)
+		st.busy.Store(true)
 		st.out = st.out[:0]
 		respOp, respErr := s.dispatch(st, op, payload)
 		if op != OpSearch && op != OpSearchStats && st.view != nil {
@@ -320,6 +376,7 @@ func (s *ShardServer) handle(conn net.Conn) {
 		}
 		if respOp == opNone && respErr == nil {
 			// Fire-and-forget op (OpUnpin): nothing goes back.
+			st.busy.Store(st.view != nil)
 			if s.obsOn {
 				s.obsOpNS[op&0x7f].Observe(time.Since(t0).Nanoseconds())
 			}
@@ -332,6 +389,10 @@ func (s *ShardServer) handle(conn net.Conn) {
 		if err := s.writeResp(st, respOp, st.out); err != nil {
 			return
 		}
+		// The conversation stays open — and the connection drain-exempt —
+		// exactly while a search op's snapshot pin awaits its paired
+		// OpStats; everything else returns the connection to idle.
+		st.busy.Store(st.view != nil)
 		if s.obsOn {
 			// Dispatch-to-flush: the server-side cost of the request,
 			// response serialization and write included. Nil-safe for op
@@ -439,7 +500,10 @@ func (s *ShardServer) dispatch(st *connState, op Op, payload []byte) (Op, error)
 		}
 		var matched int
 		var view shard.View
-		st.rows, matched, view, err = s.local.Search(req.Terms, req.Extended, st.rows)
+		// The wire protocol carries no deadline (the client applies its
+		// clamped budget to the conn's IO deadlines instead), so the
+		// in-process execution runs unbounded.
+		st.rows, matched, view, err = s.local.Search(context.Background(), req.Terms, req.Extended, st.rows)
 		if err != nil {
 			return 0, err
 		}
@@ -458,7 +522,7 @@ func (s *ShardServer) dispatch(st *connState, op Op, payload []byte) (Op, error)
 		}
 		var matched int
 		var view shard.View
-		st.rows, matched, view, err = s.local.Search(req.Terms, req.Extended, st.rows)
+		st.rows, matched, view, err = s.local.Search(context.Background(), req.Terms, req.Extended, st.rows)
 		if err != nil {
 			return 0, err
 		}
@@ -466,7 +530,7 @@ func (s *ShardServer) dispatch(st *connState, op Op, payload []byte) (Op, error)
 		for i := range st.rows {
 			st.uids = append(st.uids, st.rows[i].User)
 		}
-		st.stat, err = view.Stats(st.uids, st.stat)
+		st.stat, err = view.Stats(context.Background(), st.uids, st.stat)
 		if err != nil {
 			view.Release()
 			return 0, err
@@ -510,7 +574,7 @@ func (s *ShardServer) dispatch(st *connState, op Op, payload []byte) (Op, error)
 			view = s.local.View()
 			defer view.Release()
 		}
-		st.stat, err = view.Stats(st.uids, st.stat)
+		st.stat, err = view.Stats(context.Background(), st.uids, st.stat)
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package transport_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -392,7 +393,7 @@ func TestConnectionReuse(t *testing.T) {
 	if _, err := c.Epoch(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, v, err := c.Search([]string{"49ers"}, false, nil); err != nil {
+	if _, _, v, err := c.Search(context.Background(), []string{"49ers"}, false, nil); err != nil {
 		t.Fatal(err)
 	} else {
 		v.Release()
@@ -402,7 +403,7 @@ func TestConnectionReuse(t *testing.T) {
 		if _, err := c.Epoch(); err != nil {
 			t.Fatal(err)
 		}
-		rows, _, v, err := c.Search([]string{"49ers"}, false, nil)
+		rows, _, v, err := c.Search(context.Background(), []string{"49ers"}, false, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -411,7 +412,7 @@ func TestConnectionReuse(t *testing.T) {
 			for _, rc := range rows {
 				users = append(users, rc.User)
 			}
-			stats, err := v.Stats(users, nil)
+			stats, err := v.Stats(context.Background(), users, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
