@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench cover cover-check check docs-check bench-shard bench-remote bench-replica bench-gateway bench-json fuzz-smoke run-gateway smoke-gateway
+.PHONY: all build test race vet bench cover cover-check check docs-check bench-shard bench-remote bench-replica bench-gateway bench-disk bench-json fuzz-smoke run-gateway smoke-gateway
 
 all: check
 
@@ -11,11 +11,11 @@ test:
 	$(GO) test ./...
 
 # The serving layer, the online detectors, the streaming index, the
-# sharded router, the wire transport, the replica sets and the metrics
-# registry are the concurrent surfaces; hammer them with the race
-# detector enabled.
+# disk tier, the sharded router, the wire transport, the replica sets
+# and the metrics registry are the concurrent surfaces; hammer them
+# with the race detector enabled.
 race:
-	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog ./internal/ingest ./internal/shard ./internal/transport ./internal/replica ./internal/obs ./internal/gateway
+	$(GO) test -race ./internal/serve ./internal/core ./internal/expertise ./internal/querylog ./internal/ingest ./internal/diskseg ./internal/shard ./internal/transport ./internal/replica ./internal/obs ./internal/gateway
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +26,7 @@ vet:
 docs-check: vet
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt -l found unformatted files:"; echo "$$fmtout"; exit 1; fi
-	$(GO) run ./cmd/docscheck ./internal/shard ./internal/core ./internal/transport ./internal/replica ./internal/obs ./internal/gateway
+	$(GO) run ./cmd/docscheck ./internal/shard ./internal/core ./internal/transport ./internal/replica ./internal/obs ./internal/gateway ./internal/diskseg
 
 # Hot-path and serving benchmarks; `make bench BENCH=.` runs everything
 # in the root package. Streaming benchmarks live in internal/ingest,
@@ -52,14 +52,21 @@ bench-replica:
 bench-gateway:
 	$(GO) test -bench 'Gateway' -benchmem -run '^$$' ./internal/gateway
 
+# Disk-tier benchmarks: spilled-index search latency (hot and
+# cache-disabled) against the in-heap LiveSearch rows, plus the
+# per-segment spill rewrite and the diskseg micro-benches.
+bench-disk:
+	$(GO) test -bench 'Disk' -benchmem -run '^$$' ./internal/ingest ./internal/diskseg
+
 # Machine-readable benchmark snapshot: runs every per-layer bench suite
 # and converts the output to benchstat-compatible JSON via
 # cmd/benchjson. BENCHN names the PR the snapshot belongs to, so
 # successive PRs leave comparable BENCH_<n>.json files behind.
-BENCHN ?= 9
+BENCHN ?= 10
 bench-json:
 	@{ $(GO) test -bench 'Table9|ServeQPS|OnlineSearch' -benchmem -run '^$$' . ; \
 	   $(GO) test -bench 'Ingest|LiveSearch' -benchmem -run '^$$' ./internal/ingest ; \
+	   $(GO) test -bench 'Disk' -benchmem -run '^$$' ./internal/ingest ./internal/diskseg ; \
 	   $(GO) test -bench 'Sharded|EpochVector|Reshard' -benchmem -run '^$$' ./internal/shard ; \
 	   $(GO) test -bench 'Remote|WireSearchCodec' -benchmem -run '^$$' ./internal/transport ; \
 	   $(GO) test -bench 'Replicated|Failover' -benchmem -run '^$$' ./internal/replica ; \

@@ -50,6 +50,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -83,6 +84,8 @@ func run(args []string, out io.Writer, sigs <-chan os.Signal, started chan<- *tr
 	numShards := fs.Int("of", 1, "total number of partitions in the deployment")
 	seal := fs.Int("seal", 128, "active-segment seal threshold")
 	fanIn := fs.Int("fanin", 4, "compaction fan-in")
+	dataDir := fs.String("data-dir", "", "directory for the disk tier: sealed segments past -spill posts are rewritten to compressed mmap-backed files under <data-dir>/shard-<i>; empty keeps every segment in heap")
+	spill := fs.Int("spill", 0, "minimum segment size (posts) the disk tier accepts; 0 means 4x -seal (only meaningful with -data-dir)")
 	admin := fs.String("admin", "", "optional host:port for the admin HTTP plane (/metrics, /healthz, /stats, /debug/pprof/)")
 	grace := fs.Duration("grace", 5*time.Second, "in-flight drain budget on SIGINT/SIGTERM before connections are force-closed")
 	if err := fs.Parse(args); err != nil {
@@ -105,7 +108,15 @@ func run(args []string, out io.Writer, sigs <-chan os.Signal, started chan<- *tr
 	if *admin != "" {
 		reg = obs.NewRegistry()
 	}
-	idx := ingest.New(part, ingest.Config{SealThreshold: *seal, CompactFanIn: *fanIn, Obs: reg})
+	icfg := ingest.Config{SealThreshold: *seal, CompactFanIn: *fanIn, Obs: reg}
+	if *dataDir != "" {
+		// Each shard owns its own subdirectory: the index removes stale
+		// segment files at startup, and replicas of the same shard on one
+		// machine must still point at distinct -data-dirs.
+		icfg.SpillDir = filepath.Join(*dataDir, fmt.Sprintf("shard-%d", *shardIdx))
+		icfg.SpillThreshold = *spill
+	}
+	idx := ingest.New(part, icfg)
 	defer idx.Close()
 
 	scfg := transport.DefaultServerConfig(*shardIdx, *numShards)

@@ -5,12 +5,15 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/microblog"
 	"repro/internal/transport"
 )
 
@@ -137,6 +140,61 @@ func fetchOK(t *testing.T, url string) string {
 		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
 	}
 	return string(body)
+}
+
+// TestRunDataDir boots a shardd with the disk tier enabled, streams
+// enough posts over the wire to force spills, and checks that sealed
+// segments landed as files under <data-dir>/shard-0 while searches
+// keep answering.
+func TestRunDataDir(t *testing.T) {
+	dir := t.TempDir()
+	started := make(chan *transport.ShardServer, 1)
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-shard", "0", "-of", "1",
+			"-seal", "16", "-spill", "16", "-data-dir", dir}, &out, nil, started)
+	}()
+	srv := <-started
+	defer func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	}()
+
+	c := transport.NewRemoteShard(srv.Addr().String(), transport.DefaultClientConfig())
+	defer c.Close()
+	p, err := core.BuildPipeline(core.TinyPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := microblog.NewPostStream(p.World, microblog.DefaultStreamConfig(7))
+	posts := make([]microblog.Post, 64)
+	for i := range posts {
+		posts[i] = stream.Next()
+	}
+	if err := c.IngestBatch(posts); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "shard-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 {
+		t.Fatal("quiesced shardd spilled no segment files under -data-dir")
+	}
+	rows, matched, v, err := c.Search(context.Background(), []string{"49ers"}, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Release()
+	if matched < 0 || len(rows) > matched*2 {
+		t.Fatalf("implausible search result over spilled shard: %d rows, %d matched", len(rows), matched)
+	}
 }
 
 // TestRunRejectsBadPartition pins the flag validation.

@@ -1,0 +1,576 @@
+// Package diskseg is the disk tier of the streaming index: a compact
+// on-disk format for sealed (immutable) segments, written at spill or
+// compaction time, served through a read-only memory map. The read
+// path is MatchAppend-shaped — the same contract as
+// microblog.Corpus.MatchAppend — so a cold segment plugs into the live
+// snapshot's per-segment matching loop unchanged: posting blocks are
+// delta-varint decoded straight off the map into scratch buffers and
+// fed to the existing galloping microblog.IntersectInto; per-user
+// feature denominators are fixed-width rows read in place with no
+// decode at all. A small LRU of hot decoded blocks (posting blocks and
+// tweet blocks share it) keeps frequently queried terms at in-heap
+// latency while the long tail of the corpus costs only page cache.
+//
+// Lifecycle. Segments are refcounted: the opener holds one reference,
+// every published ingest snapshot that includes the segment takes
+// another (Retain), and the map is torn down — and the file optionally
+// removed — only when the last reference is released. That is the
+// pin-against-unmap-under-reader rule: a query running against an old
+// snapshot keeps its segments mapped no matter how many compactions
+// have since rewritten the layout. See ARCHITECTURE.md, storage tier.
+package diskseg
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/microblog"
+	"repro/internal/obs"
+	"repro/internal/textutil"
+	"repro/internal/world"
+)
+
+// Options tunes an opened segment.
+type Options struct {
+	// IO overrides the file/mmap layer; nil means the real OS. The
+	// chaos harness injects open failures, truncation and corruption
+	// through this seam.
+	IO IO
+	// BlockCache caps the hot decoded blocks (posting + tweet blocks
+	// together) this segment keeps in heap. Zero means 256; negative
+	// disables caching, so every access decodes off the map — the
+	// configuration the cold-path benchmarks measure.
+	BlockCache int
+	// Obs, when non-nil, registers the disk tier's metrics: block-cache
+	// traffic (disk_block_cache_hits / disk_block_cache_misses) and the
+	// per-miss decode latency histogram (disk_read_ns). Nil keeps the
+	// read path free of clock reads.
+	Obs *obs.Registry
+}
+
+// termMeta is one dictionary entry: the posting count and the block
+// directory, decoded into heap at open time (the dictionary is tiny
+// next to the postings it describes).
+type termMeta struct {
+	count  int
+	blocks []blockRef
+}
+
+// blockRef locates one posting block in the map.
+type blockRef struct {
+	first microblog.TweetID // first id in the block (directory skip key)
+	off   int               // absolute offset into the mapped file
+	blen  int               // encoded byte length
+	n     int               // ids in the block
+}
+
+// span locates one tweet block in the map.
+type span struct{ off, blen int }
+
+// Segment is one opened on-disk sealed segment. All read methods are
+// safe for concurrent use; the segment never changes after Open.
+type Segment struct {
+	path string
+	f    File
+	data []byte
+
+	numTweets int
+	numUsers  int
+	statsOff  int
+
+	terms       map[string]*termMeta
+	termList    []string // dictionary order; tweet records reference it
+	tweetBlocks []span
+
+	cache *blockCache
+
+	refs   atomic.Int64
+	remove atomic.Bool
+
+	obsReadNS *obs.Histogram
+}
+
+// Open maps the segment at path and validates it: magic, version,
+// section bounds and every section checksum. A truncated, short-read
+// or corrupted file fails here with a clean error (ErrTruncated,
+// ErrChecksum, ErrCorrupt) — never later, and never with a wrong
+// result. The returned segment holds one reference; Release it when
+// the layout drops the segment.
+func Open(path string, opts Options) (*Segment, error) {
+	io := opts.IO
+	if io == nil {
+		io = OS{}
+	}
+	f, err := io.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("diskseg: open %s: %w", path, err)
+	}
+	s, err := open(path, f, opts)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskseg: open %s: %w", path, err)
+	}
+	return s, nil
+}
+
+func open(path string, f File, opts Options) (*Segment, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	data, err := f.Mmap()
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) < size {
+		return nil, fmt.Errorf("mapped %d of %d bytes: %w", len(data), size, ErrTruncated)
+	}
+	numTweets, numUsers, numTerms, numTweetBlocks, secs, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	s := &Segment{
+		path:      path,
+		f:         f,
+		data:      data,
+		numTweets: numTweets,
+		numUsers:  numUsers,
+		statsOff:  secs[secStats].off,
+	}
+	if err := s.parseDict(secs[secDict], secs[secPostings], numTerms); err != nil {
+		return nil, err
+	}
+	if err := s.parseTweetDir(secs[secTweetDir], secs[secTweets], numTweetBlocks); err != nil {
+		return nil, err
+	}
+	capacity := opts.BlockCache
+	if capacity == 0 {
+		capacity = 256
+	}
+	if capacity > 0 {
+		s.cache = newBlockCache(capacity, opts.Obs)
+	}
+	if opts.Obs != nil {
+		s.obsReadNS = opts.Obs.Histogram("disk_read_ns")
+	}
+	s.refs.Store(1)
+	return s, nil
+}
+
+// parseDict decodes the term dictionary and block directory into heap.
+func (s *Segment) parseDict(dict, postings section, numTerms int) error {
+	buf := s.data[dict.off : dict.off+dict.n]
+	s.terms = make(map[string]*termMeta, numTerms)
+	s.termList = make([]string, 0, numTerms)
+	next := postings.off
+	end := postings.off + postings.n
+	for i := 0; i < numTerms; i++ {
+		tlen, err := dictUvarint(&buf)
+		if err != nil {
+			return fmt.Errorf("dict term %d: %w", i, err)
+		}
+		if tlen > uint64(len(buf)) {
+			return fmt.Errorf("dict term %d: name %d bytes past section: %w", i, tlen, ErrCorrupt)
+		}
+		tok := string(buf[:tlen])
+		buf = buf[tlen:]
+		count, err := dictUvarint(&buf)
+		if err != nil {
+			return fmt.Errorf("dict term %q: %w", tok, err)
+		}
+		m := &termMeta{count: int(count)}
+		for got := 0; got < m.count; got += microblog.PostingsBlockLen {
+			n := m.count - got
+			if n > microblog.PostingsBlockLen {
+				n = microblog.PostingsBlockLen
+			}
+			first, err := dictUvarint(&buf)
+			if err != nil {
+				return fmt.Errorf("dict term %q block dir: %w", tok, err)
+			}
+			blen, err := dictUvarint(&buf)
+			if err != nil {
+				return fmt.Errorf("dict term %q block dir: %w", tok, err)
+			}
+			if int(blen) > end-next {
+				return fmt.Errorf("dict term %q: block %d bytes past postings section: %w", tok, blen, ErrCorrupt)
+			}
+			m.blocks = append(m.blocks, blockRef{
+				first: microblog.TweetID(first), off: next, blen: int(blen), n: n,
+			})
+			next += int(blen)
+		}
+		s.terms[tok] = m
+		s.termList = append(s.termList, tok)
+	}
+	if next != end {
+		return fmt.Errorf("postings section has %d trailing bytes: %w", end-next, ErrCorrupt)
+	}
+	return nil
+}
+
+// parseTweetDir turns the fixed-width block-length table into absolute
+// spans.
+func (s *Segment) parseTweetDir(dir, tweets section, numTweetBlocks int) error {
+	s.tweetBlocks = make([]span, numTweetBlocks)
+	next := tweets.off
+	end := tweets.off + tweets.n
+	for b := 0; b < numTweetBlocks; b++ {
+		blen := int(binary.LittleEndian.Uint32(s.data[dir.off+4*b:]))
+		if blen > end-next {
+			return fmt.Errorf("tweet block %d: %d bytes past section: %w", b, blen, ErrCorrupt)
+		}
+		s.tweetBlocks[b] = span{off: next, blen: blen}
+		next += blen
+	}
+	if next != end {
+		return fmt.Errorf("tweets section has %d trailing bytes: %w", end-next, ErrCorrupt)
+	}
+	return nil
+}
+
+// dictUvarint reads one uvarint off the front of *buf.
+func dictUvarint(buf *[]byte) (uint64, error) {
+	v, n := binary.Uvarint(*buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("dictionary ends mid-varint: %w", ErrCorrupt)
+	}
+	*buf = (*buf)[n:]
+	return v, nil
+}
+
+// Path returns the segment's file path.
+func (s *Segment) Path() string { return s.path }
+
+// SizeBytes returns the mapped file size — what the segment costs on
+// disk rather than in heap.
+func (s *Segment) SizeBytes() int { return len(s.data) }
+
+// NumTweets returns the number of posts in the segment.
+func (s *Segment) NumTweets() int { return s.numTweets }
+
+// NumUsers returns the user-universe size the stat tables cover.
+func (s *Segment) NumUsers() int { return s.numUsers }
+
+// NumTweetsBy reads the user's authored-post count in place off the
+// map — no decode, no allocation.
+func (s *Segment) NumTweetsBy(u world.UserID) int {
+	if int(u) >= s.numUsers || u < 0 {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(s.data[s.statsOff+4*int(u):]))
+}
+
+// NumMentionsOf reads the user's mentions-received count in place.
+func (s *Segment) NumMentionsOf(u world.UserID) int {
+	if int(u) >= s.numUsers || u < 0 {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(s.data[s.statsOff+4*(s.numUsers+int(u)):]))
+}
+
+// NumRetweetsOf reads the user's retweets-received count in place.
+func (s *Segment) NumRetweetsOf(u world.UserID) int {
+	if int(u) >= s.numUsers || u < 0 {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(s.data[s.statsOff+4*(2*s.numUsers+int(u)):]))
+}
+
+// matchScratch holds the per-call decode buffers of MatchAppend.
+type matchScratch struct {
+	a, b  []microblog.TweetID
+	metas []*termMeta
+}
+
+var matchPool = sync.Pool{New: func() any { return &matchScratch{} }}
+
+// MatchAppend is the segment's zero-copy matcher, contract-identical
+// to microblog.Corpus.MatchAppend: it writes the segment-local ids of
+// all posts containing every token of the query into buf (capacity
+// reused, contents discarded) and returns the filled buffer. Posting
+// lists are materialized block by block — hot blocks from the LRU,
+// cold ones decoded straight off the map — then intersected
+// rarest-first through the galloping microblog.IntersectInto, exactly
+// as the in-heap path does, which is what makes a spilled segment
+// bit-identical to the corpus it was written from.
+func (s *Segment) MatchAppend(query string, buf []microblog.TweetID) []microblog.TweetID {
+	tokens := textutil.Tokenize(query)
+	if len(tokens) == 0 {
+		return buf[:0]
+	}
+	if len(tokens) == 1 {
+		m := s.terms[tokens[0]]
+		if m == nil {
+			return buf[:0]
+		}
+		return s.termAppend(m, buf[:0])
+	}
+	sc := matchPool.Get().(*matchScratch)
+	defer matchPool.Put(sc)
+	sc.metas = sc.metas[:0]
+	for _, tok := range tokens {
+		m := s.terms[tok]
+		if m == nil {
+			return buf[:0]
+		}
+		sc.metas = append(sc.metas, m)
+	}
+	metas := sc.metas
+	sort.Slice(metas, func(i, j int) bool { return metas[i].count < metas[j].count })
+	sc.a = s.termAppend(metas[0], sc.a[:0])
+	sc.b = s.termAppend(metas[1], sc.b[:0])
+	buf = microblog.IntersectInto(buf, sc.a, sc.b)
+	for _, m := range metas[2:] {
+		if len(buf) == 0 {
+			return buf
+		}
+		sc.a = s.termAppend(m, sc.a[:0])
+		buf = microblog.IntersectInto(buf, buf, sc.a)
+	}
+	return buf
+}
+
+// Postings appends the full decoded posting list of one token to buf —
+// the single-term fast path and the test surface of the block decoder.
+func (s *Segment) Postings(token string, buf []microblog.TweetID) []microblog.TweetID {
+	m := s.terms[token]
+	if m == nil {
+		return buf[:0]
+	}
+	return s.termAppend(m, buf[:0])
+}
+
+// termAppend materializes one term's posting list, block by block.
+func (s *Segment) termAppend(m *termMeta, buf []microblog.TweetID) []microblog.TweetID {
+	for i := range m.blocks {
+		buf = append(buf, s.postingBlock(&m.blocks[i])...)
+	}
+	return buf
+}
+
+// postingBlock returns one decoded posting block, from the hot cache
+// when present, decoded off the map (and cached) otherwise. The
+// returned slice is cache-owned and read-only.
+func (s *Segment) postingBlock(ref *blockRef) []microblog.TweetID {
+	if s.cache != nil {
+		if e := s.cache.get(ref.off); e != nil {
+			return e.ids
+		}
+	}
+	var start time.Time
+	if s.obsReadNS != nil {
+		start = time.Now()
+	}
+	ids, _, err := microblog.DecodePostingsBlock(
+		make([]microblog.TweetID, 0, ref.n), s.data[ref.off:ref.off+ref.blen], ref.n)
+	if err != nil {
+		// The section checksum verified at Open covers these bytes; a
+		// decode failure here means memory corruption, not input.
+		panic(fmt.Sprintf("diskseg: checksummed posting block undecodable: %v", err))
+	}
+	if s.obsReadNS != nil {
+		s.obsReadNS.Observe(time.Since(start).Nanoseconds())
+	}
+	if s.cache != nil {
+		s.cache.put(ref.off, &cacheEntry{ids: ids})
+	}
+	return ids
+}
+
+// Tweet returns the post with the given segment-local id. The tweet is
+// decoded as part of its block — hot blocks come from the LRU, so the
+// candidate-extraction loop over a frequent term's matches runs at
+// in-heap speed — and the returned pointer stays valid as long as the
+// caller holds it (eviction only drops the cache's reference). Terms
+// share the dictionary's strings; nothing is re-tokenized.
+func (s *Segment) Tweet(id microblog.TweetID) *microblog.Tweet {
+	b := int(id) / TweetBlockLen
+	tws := s.tweetBlock(b)
+	return &tws[int(id)%TweetBlockLen]
+}
+
+// tweetBlock returns one decoded tweet block via the hot cache.
+func (s *Segment) tweetBlock(b int) []microblog.Tweet {
+	sp := &s.tweetBlocks[b]
+	if s.cache != nil {
+		// Tweet blocks are keyed by their span offset; posting and
+		// tweet offsets never collide because the sections are disjoint.
+		if e := s.cache.get(sp.off); e != nil {
+			return e.tws
+		}
+	}
+	tws := s.decodeTweetBlock(b)
+	if s.cache != nil {
+		s.cache.put(sp.off, &cacheEntry{tws: tws})
+	}
+	return tws
+}
+
+// decodeTweetBlock decodes the b'th tweet block off the map.
+func (s *Segment) decodeTweetBlock(b int) []microblog.Tweet {
+	var start time.Time
+	if s.obsReadNS != nil {
+		start = time.Now()
+	}
+	sp := s.tweetBlocks[b]
+	buf := s.data[sp.off : sp.off+sp.blen]
+	lo := b * TweetBlockLen
+	n := s.numTweets - lo
+	if n > TweetBlockLen {
+		n = TweetBlockLen
+	}
+	tws := make([]microblog.Tweet, n)
+	for i := 0; i < n; i++ {
+		tw := &tws[i]
+		tw.ID = microblog.TweetID(lo + i)
+		tw.Author = world.UserID(blockUvarint(&buf))
+		tw.RetweetCount = int(blockUvarint(&buf))
+		tw.Topic = world.TopicID(blockUvarint(&buf)) - 1
+		if nm := int(blockUvarint(&buf)); nm > 0 {
+			tw.Mentions = make([]world.UserID, nm)
+			for j := range tw.Mentions {
+				tw.Mentions[j] = world.UserID(blockUvarint(&buf))
+			}
+		}
+		if nt := int(blockUvarint(&buf)); nt > 0 {
+			tw.Terms = make([]string, nt)
+			for j := range tw.Terms {
+				tw.Terms[j] = s.termList[blockUvarint(&buf)]
+			}
+		}
+		tlen := int(blockUvarint(&buf))
+		tw.Text = string(buf[:tlen])
+		buf = buf[tlen:]
+	}
+	if s.obsReadNS != nil {
+		s.obsReadNS.Observe(time.Since(start).Nanoseconds())
+	}
+	return tws
+}
+
+// blockUvarint reads one uvarint from a checksummed tweet block.
+func blockUvarint(buf *[]byte) uint64 {
+	v, n := binary.Uvarint(*buf)
+	if n <= 0 {
+		panic("diskseg: checksummed tweet block undecodable")
+	}
+	*buf = (*buf)[n:]
+	return v
+}
+
+// Tweets materializes every post of the segment in id order — the
+// compaction path, which concatenates segments and rewrites them. It
+// decodes sequentially and bypasses the hot cache so a background
+// rewrite cannot evict the query path's working set.
+func (s *Segment) Tweets() []microblog.Tweet {
+	all := make([]microblog.Tweet, 0, s.numTweets)
+	for b := range s.tweetBlocks {
+		all = append(all, s.decodeTweetBlock(b)...)
+	}
+	return all
+}
+
+// Refs returns the current reference count (tests pin the lifecycle
+// with it).
+func (s *Segment) Refs() int64 { return s.refs.Load() }
+
+// Retain takes one more reference — every published snapshot that
+// includes the segment holds one, which is what pins the map against
+// an unmap-under-reader when compaction drops the segment from the
+// live layout.
+func (s *Segment) Retain() {
+	if s.refs.Add(1) <= 1 {
+		panic("diskseg: Retain after final Release")
+	}
+}
+
+// RemoveOnRelease arms deletion of the backing file when the last
+// reference goes away — the spill directory's garbage collection.
+func (s *Segment) RemoveOnRelease() { s.remove.Store(true) }
+
+// Release drops one reference; the last release unmaps the file,
+// closes it, and removes it when RemoveOnRelease was armed.
+func (s *Segment) Release() {
+	n := s.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("diskseg: Release without matching Retain")
+	}
+	s.f.Close()
+	if s.remove.Load() {
+		os.Remove(s.path)
+	}
+}
+
+// cacheEntry is one hot decoded block: exactly one of ids (posting
+// block) or tws (tweet block) is set.
+type cacheEntry struct {
+	key int
+	ids []microblog.TweetID
+	tws []microblog.Tweet
+}
+
+// blockCache is a small mutex-guarded LRU over decoded blocks, shared
+// by posting and tweet blocks and keyed by the block's file offset
+// (unique across both, since sections are disjoint).
+type blockCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[int]*list.Element
+	ll  *list.List // front = most recently used
+
+	hits, misses *obs.Counter
+}
+
+func newBlockCache(capacity int, reg *obs.Registry) *blockCache {
+	c := &blockCache{cap: capacity, m: make(map[int]*list.Element, capacity), ll: list.New()}
+	if reg != nil {
+		c.hits = reg.Counter("disk_block_cache_hits")
+		c.misses = reg.Counter("disk_block_cache_misses")
+	}
+	return c
+}
+
+// get returns the cached entry for key, promoting it, or nil.
+func (c *blockCache) get(key int) *cacheEntry {
+	c.mu.Lock()
+	el, ok := c.m[key]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Inc()
+		return nil
+	}
+	c.hits.Inc()
+	return el.Value.(*cacheEntry)
+}
+
+// put inserts a freshly decoded block, evicting the coldest past cap.
+func (c *blockCache) put(key int, e *cacheEntry) {
+	e.key = key
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		// A concurrent decode of the same block won; keep the winner.
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.m[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.m, old.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,232 @@
+package diskseg_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/diskseg"
+	"repro/internal/microblog"
+	"repro/internal/obs"
+	"repro/internal/world"
+)
+
+// writeCorpus spills a generated tiny corpus and opens it back.
+func writeCorpus(t testing.TB, opts diskseg.Options) (*microblog.Corpus, *diskseg.Segment) {
+	t.Helper()
+	w := world.Build(world.TinyConfig())
+	c := microblog.Generate(w, microblog.TinyGenConfig())
+	path := filepath.Join(t.TempDir(), "seg.esg")
+	if err := diskseg.Write(path, c); err != nil {
+		t.Fatal(err)
+	}
+	s, err := diskseg.Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Release)
+	return c, s
+}
+
+// vocabulary collects every distinct token of the corpus.
+func vocabulary(c *microblog.Corpus) []string {
+	set := map[string]struct{}{}
+	for i := 0; i < c.NumTweets(); i++ {
+		for _, tok := range c.Tweet(microblog.TweetID(i)).Terms {
+			set[tok] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for tok := range set {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestRoundTripPostings pins the core property of the format: every
+// posting list decodes bit-identically to the in-heap index it was
+// written from, for the whole vocabulary — through the hot cache and
+// with caching disabled (pure decode off the map).
+func TestRoundTripPostings(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cache int
+	}{{"cached", 0}, {"uncached", -1}, {"tiny-cache", 2}} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, s := writeCorpus(t, diskseg.Options{BlockCache: tc.cache})
+			if s.NumTweets() != c.NumTweets() || s.NumUsers() != c.NumUsers() {
+				t.Fatalf("counts: disk %d/%d, heap %d/%d",
+					s.NumTweets(), s.NumUsers(), c.NumTweets(), c.NumUsers())
+			}
+			var buf []microblog.TweetID
+			for _, tok := range vocabulary(c) {
+				want := c.Postings(tok)
+				// Twice: the second pass hits the cache (when enabled)
+				// and must not differ.
+				for pass := 0; pass < 2; pass++ {
+					buf = s.Postings(tok, buf)
+					if len(buf) != len(want) {
+						t.Fatalf("%q pass %d: %d postings, want %d", tok, pass, len(buf), len(want))
+					}
+					for i := range want {
+						if buf[i] != want[i] {
+							t.Fatalf("%q pass %d: posting %d = %d, want %d", tok, pass, i, buf[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMatchAppendEquivalence checks the MatchAppend contract against
+// the corpus for single- and multi-token queries, including misses.
+func TestMatchAppendEquivalence(t *testing.T) {
+	c, s := writeCorpus(t, diskseg.Options{})
+	vocab := vocabulary(c)
+	queries := []string{"", "zzz-no-such-token", vocab[0], vocab[len(vocab)/2]}
+	// Multi-token queries with real intersections: pair adjacent
+	// vocabulary terms and a few real tweet texts (every tweet matches
+	// its own full text).
+	for i := 0; i+1 < len(vocab) && i < 40; i += 7 {
+		queries = append(queries, vocab[i]+" "+vocab[i+1])
+	}
+	for i := 0; i < c.NumTweets() && i < 60; i += 11 {
+		queries = append(queries, c.Tweet(microblog.TweetID(i)).Text)
+	}
+	var got, want []microblog.TweetID
+	for _, q := range queries {
+		want = c.MatchAppend(q, want)
+		for pass := 0; pass < 2; pass++ {
+			got = s.MatchAppend(q, got)
+			if len(got) != len(want) {
+				t.Fatalf("%q pass %d: %d matches, want %d", q, pass, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%q pass %d: match %d = %d, want %d", q, pass, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRoundTripTweetsAndStats checks every decoded tweet field the
+// ranking path consumes, plus the three in-place stat tables over the
+// whole user universe.
+func TestRoundTripTweetsAndStats(t *testing.T) {
+	c, s := writeCorpus(t, diskseg.Options{BlockCache: 3})
+	for i := 0; i < c.NumTweets(); i++ {
+		id := microblog.TweetID(i)
+		want, got := c.Tweet(id), s.Tweet(id)
+		if got.ID != want.ID || got.Author != want.Author || got.Text != want.Text ||
+			got.RetweetCount != want.RetweetCount || got.Topic != want.Topic {
+			t.Fatalf("tweet %d: got %+v want %+v", i, got, want)
+		}
+		if !reflect.DeepEqual(got.Terms, want.Terms) {
+			t.Fatalf("tweet %d terms: got %v want %v", i, got.Terms, want.Terms)
+		}
+		if len(got.Mentions) != len(want.Mentions) || (len(want.Mentions) > 0 && !reflect.DeepEqual(got.Mentions, want.Mentions)) {
+			t.Fatalf("tweet %d mentions: got %v want %v", i, got.Mentions, want.Mentions)
+		}
+	}
+	for u := 0; u < c.NumUsers(); u++ {
+		uid := world.UserID(u)
+		if s.NumTweetsBy(uid) != c.NumTweetsBy(uid) ||
+			s.NumMentionsOf(uid) != c.NumMentionsOf(uid) ||
+			s.NumRetweetsOf(uid) != c.NumRetweetsOf(uid) {
+			t.Fatalf("user %d stats: disk %d/%d/%d heap %d/%d/%d", u,
+				s.NumTweetsBy(uid), s.NumMentionsOf(uid), s.NumRetweetsOf(uid),
+				c.NumTweetsBy(uid), c.NumMentionsOf(uid), c.NumRetweetsOf(uid))
+		}
+	}
+	// Tweets() materializes the same sequence (the compaction path).
+	all := s.Tweets()
+	if len(all) != c.NumTweets() {
+		t.Fatalf("Tweets() returned %d, want %d", len(all), c.NumTweets())
+	}
+	for i := range all {
+		if all[i].Text != c.Tweet(microblog.TweetID(i)).Text || all[i].ID != microblog.TweetID(i) {
+			t.Fatalf("Tweets()[%d] mismatch", i)
+		}
+	}
+}
+
+// TestBlockCacheCountsAndObs pins the hot-path story: repeating one
+// query hits the block cache instead of re-decoding, and the obs
+// counters see exactly that.
+func TestBlockCacheCountsAndObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, s := writeCorpus(t, diskseg.Options{Obs: reg})
+	tok := vocabulary(c)[0]
+	find := func(name string) int64 {
+		for _, m := range reg.Snapshot() {
+			if m.Name == name {
+				return m.Value
+			}
+		}
+		return 0
+	}
+	var buf []microblog.TweetID
+	buf = s.Postings(tok, buf)
+	missesAfterCold := find("disk_block_cache_misses")
+	if missesAfterCold == 0 {
+		t.Fatal("cold read recorded no cache misses")
+	}
+	if reg.Histogram("disk_read_ns").Count() == 0 {
+		t.Fatal("cold read recorded no disk_read_ns observations")
+	}
+	hitsBefore := find("disk_block_cache_hits")
+	for k := 0; k < 5; k++ {
+		buf = s.Postings(tok, buf)
+	}
+	if find("disk_block_cache_misses") != missesAfterCold {
+		t.Fatalf("hot reads decoded again: misses %d -> %d",
+			missesAfterCold, find("disk_block_cache_misses"))
+	}
+	if find("disk_block_cache_hits") <= hitsBefore {
+		t.Fatal("hot reads recorded no cache hits")
+	}
+}
+
+// TestRefcountLifecycle pins the pin-against-unmap rule: Retain keeps
+// the segment readable after the opener releases it, and the armed
+// file removal happens only at the last Release.
+func TestRefcountLifecycle(t *testing.T) {
+	w := world.Build(world.TinyConfig())
+	c := microblog.Generate(w, microblog.TinyGenConfig())
+	path := filepath.Join(t.TempDir(), "seg.esg")
+	if err := diskseg.Write(path, c); err != nil {
+		t.Fatal(err)
+	}
+	s, err := diskseg.Open(path, diskseg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RemoveOnRelease()
+	s.Retain() // the "snapshot" reference
+	if got := s.Refs(); got != 2 {
+		t.Fatalf("refs = %d, want 2", got)
+	}
+
+	s.Release() // the layout drops the segment (a compaction rewrote it)
+	if got := s.Refs(); got != 1 {
+		t.Fatalf("refs after layout release = %d, want 1", got)
+	}
+	// Still fully readable through the reader's pin.
+	tok := vocabulary(c)[0]
+	if got := s.Postings(tok, nil); len(got) != len(c.Postings(tok)) {
+		t.Fatalf("pinned segment misread: %d postings, want %d", len(got), len(c.Postings(tok)))
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("file removed while pinned: %v", err)
+	}
+
+	s.Release() // the reader retires
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("file not removed at last release: %v", err)
+	}
+}

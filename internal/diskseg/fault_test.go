@@ -1,0 +1,130 @@
+package diskseg_test
+
+// The disk-fault suite: every storage-level fault the chaos harness
+// can inject — refused opens, failed maps, short reads, truncated
+// files, flipped bytes — must surface as a clean sentinel error from
+// Open. Nothing past Open ever sees a faulty byte (the whole file is
+// checksummed up front), so "clean error, never a wrong ranking" is
+// pinned here once for every downstream consumer.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/diskseg"
+	"repro/internal/fault"
+	"repro/internal/microblog"
+	"repro/internal/world"
+)
+
+// writeSegFile writes a tiny corpus segment and returns its path and
+// size.
+func writeSegFile(t *testing.T) (string, int) {
+	t.Helper()
+	w := world.Build(world.TinyConfig())
+	c := microblog.Generate(w, microblog.TinyGenConfig())
+	path := filepath.Join(t.TempDir(), "seg.esg")
+	if err := diskseg.Write(path, c); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, int(st.Size())
+}
+
+func TestOpenRefused(t *testing.T) {
+	path, _ := writeSegFile(t)
+	io := fault.NewDiskIO()
+	io.FailOpens(nil)
+	if _, err := diskseg.Open(path, diskseg.Options{IO: io}); !errors.Is(err, fault.ErrKilled) {
+		t.Fatalf("err = %v, want ErrKilled", err)
+	}
+	io.Heal()
+	s, err := diskseg.Open(path, diskseg.Options{IO: io})
+	if err != nil {
+		t.Fatalf("healed open failed: %v", err)
+	}
+	s.Release()
+}
+
+func TestMmapRefused(t *testing.T) {
+	path, _ := writeSegFile(t)
+	io := fault.NewDiskIO()
+	io.FailMmaps(nil)
+	if _, err := diskseg.Open(path, diskseg.Options{IO: io}); !errors.Is(err, fault.ErrKilled) {
+		t.Fatalf("err = %v, want ErrKilled", err)
+	}
+}
+
+// TestTruncatedFile sweeps truncation points across the whole file —
+// every prefix must yield ErrTruncated or ErrChecksum, never a
+// segment and never a panic.
+func TestTruncatedFile(t *testing.T) {
+	path, size := writeSegFile(t)
+	step := size/97 + 1 // ~100 cut points incl. awkward mid-varint ones
+	for cut := 0; cut < size; cut += step {
+		io := fault.NewDiskIO()
+		io.TruncateTo(cut)
+		s, err := diskseg.Open(path, diskseg.Options{IO: io})
+		if err == nil {
+			s.Release()
+			t.Fatalf("cut at %d/%d bytes: opened cleanly", cut, size)
+		}
+		if !errors.Is(err, diskseg.ErrTruncated) && !errors.Is(err, diskseg.ErrChecksum) {
+			t.Fatalf("cut at %d/%d bytes: err = %v, want ErrTruncated or ErrChecksum", cut, size, err)
+		}
+	}
+}
+
+// TestCorruptByte flips one byte at offsets spread over every section
+// of the file. Every flip must be caught at Open as a sentinel error;
+// a flip that survived to the read path could silently reorder a
+// ranking.
+func TestCorruptByte(t *testing.T) {
+	path, size := writeSegFile(t)
+	step := size/211 + 1
+	for off := 0; off < size; off += step {
+		io := fault.NewDiskIO()
+		io.CorruptByte(off)
+		s, err := diskseg.Open(path, diskseg.Options{IO: io})
+		if err == nil {
+			s.Release()
+			t.Fatalf("flip at %d/%d: opened cleanly", off, size)
+		}
+		if !errors.Is(err, diskseg.ErrChecksum) && !errors.Is(err, diskseg.ErrCorrupt) && !errors.Is(err, diskseg.ErrTruncated) {
+			t.Fatalf("flip at %d/%d: err = %v, want a diskseg sentinel", off, size, err)
+		}
+	}
+}
+
+// TestEmptyAndGarbageFiles covers the degenerate inputs an operator
+// can hand the loader: an empty file and a file of the right size but
+// the wrong content.
+func TestEmptyAndGarbageFiles(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.esg")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diskseg.Open(empty, diskseg.Options{}); !errors.Is(err, diskseg.ErrTruncated) {
+		t.Fatalf("empty file: err = %v, want ErrTruncated", err)
+	}
+	garbage := filepath.Join(dir, "garbage.esg")
+	junk := make([]byte, 4096)
+	for i := range junk {
+		junk[i] = byte(i * 31)
+	}
+	if err := os.WriteFile(garbage, junk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diskseg.Open(garbage, diskseg.Options{}); !errors.Is(err, diskseg.ErrCorrupt) {
+		t.Fatalf("garbage file: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := diskseg.Open(filepath.Join(dir, "missing.esg"), diskseg.Options{}); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want ErrNotExist", err)
+	}
+}

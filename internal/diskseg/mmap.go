@@ -1,0 +1,29 @@
+//go:build unix
+
+package diskseg
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only. An empty file maps to nil
+// (mmap of length 0 is an error on Linux).
+func mmapFile(f *os.File) ([]byte, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

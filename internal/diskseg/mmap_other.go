@@ -1,0 +1,21 @@
+//go:build !unix
+
+package diskseg
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile falls back to reading the whole file into the heap on
+// platforms without a unix mmap — the format still works, the
+// beyond-RAM property does not.
+func mmapFile(f *os.File) ([]byte, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(f)
+}
+
+// munmapFile releases a heap fallback buffer (nothing to do).
+func munmapFile([]byte) error { return nil }

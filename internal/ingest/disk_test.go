@@ -1,0 +1,313 @@
+package ingest_test
+
+// The disk-tier suite: the acceptance bar of PR 10. A spilled index
+// must be indistinguishable from an all-heap one except for where the
+// bytes live — bit-identical rankings, snapshots that keep answering
+// after compaction drops their segments, clean degradation to heap
+// under storage faults, and race-cleanliness with the spiller in the
+// loop.
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/ingest"
+	"repro/internal/microblog"
+)
+
+// segFiles counts the segment files currently in a spill directory.
+func segFiles(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(ents)
+}
+
+// TestDiskQuiescedEquivalence is the acceptance bar of the disk tier:
+// after ingesting posts and quiescing, an index that spilled segments
+// to disk must return bit-identical ranked experts and matched counts
+// to an all-heap index over the same posts AND to a cold detector
+// rebuilt from scratch — for every query of every evaluation query
+// set, on both the e# and the baseline path.
+func TestDiskQuiescedEquivalence(t *testing.T) {
+	p, sets := testPipeline(t)
+	posts := streamPosts(p, 67, 400)
+
+	heap := ingest.New(p.Corpus, ingest.Config{SealThreshold: 32, CompactFanIn: 3})
+	defer heap.Close()
+	heap.IngestBatch(posts)
+	heap.Quiesce()
+
+	disk := ingest.New(p.Corpus, ingest.Config{
+		SealThreshold: 32, CompactFanIn: 3,
+		SpillDir: t.TempDir(), SpillThreshold: 64,
+	})
+	defer disk.Close()
+	disk.IngestBatch(posts)
+	disk.Quiesce()
+
+	st := disk.Stats()
+	if st.Spills == 0 || st.DiskSegments == 0 {
+		t.Fatalf("test did not exercise the disk tier: %+v", st)
+	}
+	if st.NumTweets != p.Corpus.NumTweets()+len(posts) {
+		t.Fatalf("index holds %d tweets, want %d", st.NumTweets, p.Corpus.NumTweets()+len(posts))
+	}
+
+	liveDisk := core.NewLiveDetector(p.Collection, disk, p.Cfg.Online)
+	liveHeap := core.NewLiveDetector(p.Collection, heap, p.Cfg.Online)
+	cold := core.NewDetector(p.Collection, p.Corpus.ExtendedWith(posts), p.Cfg.Online)
+
+	total := 0
+	for _, set := range sets {
+		for _, q := range set.Queries {
+			total++
+			gotES, gotTrace := liveDisk.Search(q)
+			heapES, heapTrace := liveHeap.Search(q)
+			coldES, coldTrace := cold.Search(q)
+			expertsIdentical(t, "disk-vs-heap", q, gotES, heapES)
+			expertsIdentical(t, "disk-vs-cold", q, gotES, coldES)
+			if gotTrace.MatchedTweets != heapTrace.MatchedTweets ||
+				gotTrace.MatchedTweets != coldTrace.MatchedTweets {
+				t.Fatalf("%q: matched %d tweets, heap %d, cold %d",
+					q, gotTrace.MatchedTweets, heapTrace.MatchedTweets, coldTrace.MatchedTweets)
+			}
+			expertsIdentical(t, "disk-baseline", q, liveDisk.SearchBaseline(q), cold.SearchBaseline(q))
+		}
+	}
+	if total == 0 {
+		t.Fatal("no queries in eval sets")
+	}
+}
+
+// TestDiskSnapshotPinning pins the unmap-under-reader rule: a snapshot
+// acquired before a compaction replaces its disk segments keeps
+// answering from them, the replaced file stays on disk for as long as
+// any snapshot pins it, and it is deleted once the last reference is
+// collected.
+func TestDiskSnapshotPinning(t *testing.T) {
+	p, _ := testPipeline(t)
+	dir := t.TempDir()
+	idx := ingest.New(p.Corpus, ingest.Config{
+		SealThreshold: 16, CompactFanIn: 2, DisableCompactor: true,
+		SpillDir: dir, SpillThreshold: 16,
+	})
+	defer idx.Close()
+
+	posts := streamPosts(p, 71, 32)
+	idx.IngestBatch(posts[:16])
+	idx.Quiesce() // seals then spills segment 1
+	if st := idx.Stats(); st.DiskSegments != 1 {
+		t.Fatalf("after first quiesce: %+v, want 1 disk segment", st)
+	}
+	old := idx.Snapshot()
+	oldMatch := append([]microblog.TweetID(nil), old.Match("49ers")...)
+
+	idx.IngestBatch(posts[16:])
+	idx.Quiesce() // merges disk segment 1 + heap segment 2 straight to disk
+	st := idx.Stats()
+	if st.Compactions == 0 || st.DiskSegments != 1 {
+		t.Fatalf("after second quiesce: %+v, want a compaction into 1 disk segment", st)
+	}
+
+	// The old snapshot's segment left the layout, but the snapshot pins
+	// it: identical answers, file still present (alongside the merged
+	// segment's).
+	again := old.Match("49ers")
+	if len(again) != len(oldMatch) {
+		t.Fatalf("pinned snapshot match changed: %d vs %d ids", len(again), len(oldMatch))
+	}
+	for i := range oldMatch {
+		if again[i] != oldMatch[i] {
+			t.Fatalf("pinned snapshot match changed at %d", i)
+		}
+	}
+	if n := segFiles(t, dir); n != 2 {
+		t.Fatalf("%d segment files while old snapshot pinned, want 2", n)
+	}
+
+	// Retire the snapshot: its GC cleanup releases the pin and the
+	// replaced file goes away, leaving only the live merged segment.
+	old, oldMatch, again = nil, nil, nil
+	deadline := time.Now().Add(10 * time.Second)
+	for segFiles(t, dir) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d segment files after snapshot retirement, want 1", segFiles(t, dir))
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDiskSpillFault drives every storage fault the chaos harness can
+// inject through the spill path: the index must record the fault, pin
+// the segment to heap, keep the spill directory free of half-written
+// files — and rank exactly as if the disk tier did not exist.
+func TestDiskSpillFault(t *testing.T) {
+	p, sets := testPipeline(t)
+	posts := streamPosts(p, 73, 200)
+
+	heap := ingest.New(p.Corpus, ingest.Config{SealThreshold: 32, CompactFanIn: 3})
+	defer heap.Close()
+	heap.IngestBatch(posts)
+	heap.Quiesce()
+	liveHeap := core.NewLiveDetector(p.Collection, heap, p.Cfg.Online)
+
+	for _, tc := range []struct {
+		name string
+		arm  func(*fault.DiskIO)
+	}{
+		{"open-refused", func(d *fault.DiskIO) { d.FailOpens(nil) }},
+		{"mmap-refused", func(d *fault.DiskIO) { d.FailMmaps(nil) }},
+		{"truncated", func(d *fault.DiskIO) { d.TruncateTo(100) }},
+		{"corrupted", func(d *fault.DiskIO) { d.CorruptByte(200) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			io := fault.NewDiskIO()
+			tc.arm(io)
+			dir := t.TempDir()
+			idx := ingest.New(p.Corpus, ingest.Config{
+				SealThreshold: 32, CompactFanIn: 3,
+				SpillDir: dir, SpillThreshold: 64, SpillIO: io,
+			})
+			defer idx.Close()
+			idx.IngestBatch(posts)
+			idx.Quiesce()
+
+			st := idx.Stats()
+			if st.SpillErrors == 0 {
+				t.Fatalf("no spill errors recorded: %+v", st)
+			}
+			if st.DiskSegments != 0 || st.Spills != 0 {
+				t.Fatalf("faulting disk tier accepted segments: %+v", st)
+			}
+			if n := segFiles(t, dir); n != 0 {
+				t.Fatalf("%d segment files left behind by failed spills, want 0", n)
+			}
+			live := core.NewLiveDetector(p.Collection, idx, p.Cfg.Online)
+			for _, set := range sets {
+				for _, q := range set.Queries {
+					got, _ := live.Search(q)
+					want, _ := liveHeap.Search(q)
+					expertsIdentical(t, tc.name, q, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDiskConcurrentIngestSearchCompaction is the disk-tier -race
+// hammer: concurrent ingesters and searchers share an index whose
+// background compactor is actively spilling and merging disk segments
+// under them. Afterwards the quiesced index must match a cold detector
+// rebuilt from its own final content.
+func TestDiskConcurrentIngestSearchCompaction(t *testing.T) {
+	p, _ := testPipeline(t)
+	idx := ingest.New(p.Corpus, ingest.Config{
+		SealThreshold: 16, CompactFanIn: 3,
+		SpillDir: t.TempDir(), SpillThreshold: 32,
+	})
+	defer idx.Close()
+
+	live := core.NewLiveDetector(p.Collection, idx, p.Cfg.Online)
+	queries := []string{"49ers", "diabetes", "nfl", "dow futures", "coffee", "zzz-none"}
+
+	const ingesters, perIngester = 2, 150
+	const searchers, perSearcher = 4, 100
+	var stop atomic.Bool
+	errs := make(chan error, searchers)
+	var wg sync.WaitGroup
+
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stream := microblog.NewPostStream(p.World, microblog.DefaultStreamConfig(uint64(200+g)))
+			for i := 0; i < perIngester; i++ {
+				idx.Ingest(stream.Next())
+			}
+		}(g)
+	}
+	for g := 0; g < searchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var lastEpoch uint64
+			for i := 0; i < perSearcher && !stop.Load(); i++ {
+				snap := idx.Snapshot()
+				if snap.Epoch() < lastEpoch {
+					errs <- errInvariant("epoch went backwards")
+					stop.Store(true)
+					return
+				}
+				lastEpoch = snap.Epoch()
+				q := queries[(g+i)%len(queries)]
+				if i%3 == 0 {
+					live.SearchBaseline(q)
+				} else {
+					live.Search(q)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	idx.Quiesce()
+	st := idx.Stats()
+	if st.Ingested != ingesters*perIngester {
+		t.Fatalf("ingested %d posts, want %d", st.Ingested, ingesters*perIngester)
+	}
+	if st.Spills == 0 {
+		t.Fatalf("hammer never spilled: %+v", st)
+	}
+
+	snap := idx.Snapshot()
+	all := append([]microblog.Tweet(nil), p.Corpus.Tweets()...)
+	for gid := p.Corpus.NumTweets(); gid < snap.NumTweets(); gid++ {
+		all = append(all, *snap.Tweet(microblog.TweetID(gid)))
+	}
+	cold := core.NewDetector(p.Collection, microblog.FromTweets(p.World, all), p.Cfg.Online)
+	for _, q := range queries {
+		got, _ := live.Search(q)
+		want, _ := cold.Search(q)
+		expertsIdentical(t, "post-hammer", q, got, want)
+	}
+}
+
+// TestDiskStaleFileCleanup pins the SpillDir ownership contract: a new
+// index removes segment files a previous run left behind.
+func TestDiskStaleFileCleanup(t *testing.T) {
+	p, _ := testPipeline(t)
+	dir := t.TempDir()
+	idx := ingest.New(p.Corpus, ingest.Config{
+		SealThreshold: 16, CompactFanIn: 2, DisableCompactor: true,
+		SpillDir: dir, SpillThreshold: 16,
+	})
+	idx.IngestBatch(streamPosts(p, 79, 16))
+	idx.Quiesce()
+	if n := segFiles(t, dir); n != 1 {
+		t.Fatalf("%d segment files after spill, want 1", n)
+	}
+	idx.Close() // no recovery: the file on disk is now garbage
+
+	idx2 := ingest.New(p.Corpus, ingest.Config{
+		SealThreshold: 16, CompactFanIn: 2, DisableCompactor: true,
+		SpillDir: dir, SpillThreshold: 16,
+	})
+	defer idx2.Close()
+	if n := segFiles(t, dir); n != 0 {
+		t.Fatalf("%d stale segment files survived startup, want 0", n)
+	}
+}

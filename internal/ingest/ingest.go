@@ -34,10 +34,15 @@ package ingest
 
 import (
 	"math/bits"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/diskseg"
 	"repro/internal/microblog"
 	"repro/internal/obs"
 	"repro/internal/world"
@@ -55,6 +60,26 @@ type Config struct {
 	// tests and benchmarks that want to observe fragmented state). An
 	// explicit Quiesce still compacts.
 	DisableCompactor bool
+	// SpillDir enables the disk tier: the compactor rewrites sealed
+	// segments holding at least SpillThreshold posts into the compact
+	// on-disk format (internal/diskseg) under this directory, and
+	// compaction merges whose result crosses the threshold write
+	// straight to disk. Empty keeps every segment in heap. The index
+	// owns the directory exclusively: segment files left behind by a
+	// previous run are removed at startup (there is no recovery — the
+	// stream is rebuilt by replaying posts), so two indexes must not
+	// share one SpillDir.
+	SpillDir string
+	// SpillThreshold is the minimum segment size (posts) the disk tier
+	// accepts. Zero with SpillDir set means 4×SealThreshold.
+	SpillThreshold int
+	// SpillBlockCache caps each disk segment's LRU of hot decoded
+	// blocks; see diskseg.Options.BlockCache. Zero means the diskseg
+	// default.
+	SpillBlockCache int
+	// SpillIO overrides the disk tier's file/mmap layer — the fault
+	// seam of the disk chaos suite. Nil means the real OS.
+	SpillIO diskseg.IO
 	// Obs, when non-nil, attaches the index to a metrics registry:
 	// ingest latency (ingest_ns), accepted posts (ingest_posts), seal
 	// and compaction counts (ingest_seals, ingest_compactions) and the
@@ -66,11 +91,17 @@ type Config struct {
 // DefaultConfig returns the streaming defaults.
 func DefaultConfig() Config { return Config{SealThreshold: 512, CompactFanIn: 4} }
 
-// segment is one immutable, corpus-backed slice of the stream. Tweet
-// ids inside corpus are segment-local; start rebases them to global.
+// segment is one immutable slice of the stream, in exactly one
+// storage tier: corpus-backed in heap, or an mmap-backed on-disk
+// rewrite (see tier.go). Tweet ids inside either tier are
+// segment-local; start rebases them to global.
 type segment struct {
 	start  microblog.TweetID
-	corpus *microblog.Corpus
+	corpus *microblog.Corpus // in-heap tier; nil when spilled
+	disk   *diskseg.Segment  // disk tier; nil while in heap
+	// noSpill pins a segment to the heap tier after a failed spill so
+	// the compactor does not retry a faulting disk forever.
+	noSpill bool
 }
 
 // Index is the writer side of the streaming index. Ingest is safe for
@@ -89,6 +120,9 @@ type Index struct {
 	ingested    int64
 	seals       int64
 	compactions int64
+	spills      int64
+	spillErrors int64
+	spillSeq    int64
 
 	snap atomic.Pointer[Snapshot]
 	// watch is the publish notification channel: closed and replaced on
@@ -111,11 +145,14 @@ type Index struct {
 	// Pre-registered observability handles (nil without Config.Obs —
 	// every record below is then a nil-check no-op, and the latency
 	// clock is not even read).
-	obsIngestNS    *obs.Histogram
-	obsPosts       *obs.Counter
-	obsSeals       *obs.Counter
-	obsCompactions *obs.Counter
-	obsSegments    *obs.Gauge
+	obsIngestNS     *obs.Histogram
+	obsPosts        *obs.Counter
+	obsSeals        *obs.Counter
+	obsCompactions  *obs.Counter
+	obsSegments     *obs.Gauge
+	obsDiskSegments *obs.Gauge
+	obsSpills       *obs.Counter
+	obsSpillErrors  *obs.Counter
 }
 
 // New wires a streaming index over a frozen base corpus (which may be
@@ -127,6 +164,23 @@ func New(base *microblog.Corpus, cfg Config) *Index {
 	}
 	if cfg.CompactFanIn <= 1 {
 		cfg.CompactFanIn = 4
+	}
+	if cfg.SpillDir != "" {
+		if cfg.SpillThreshold <= 0 {
+			cfg.SpillThreshold = 4 * cfg.SealThreshold
+		}
+		// A failure here surfaces on the first spill attempt as a
+		// recorded spill error; the index keeps serving from heap.
+		_ = os.MkdirAll(cfg.SpillDir, 0o755)
+		// Stale segment files from a previous run are garbage: there is
+		// no recovery path, so nothing will ever read them again.
+		if ents, err := os.ReadDir(cfg.SpillDir); err == nil {
+			for _, e := range ents {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".esg") {
+					_ = os.Remove(filepath.Join(cfg.SpillDir, e.Name()))
+				}
+			}
+		}
 	}
 	i := &Index{
 		w:           base.World(),
@@ -142,6 +196,9 @@ func New(base *microblog.Corpus, cfg Config) *Index {
 		i.obsSeals = cfg.Obs.Counter("ingest_seals")
 		i.obsCompactions = cfg.Obs.Counter("ingest_compactions")
 		i.obsSegments = cfg.Obs.Gauge("ingest_segments")
+		i.obsDiskSegments = cfg.Obs.Gauge("disk_segments")
+		i.obsSpills = cfg.Obs.Counter("ingest_spills")
+		i.obsSpillErrors = cfg.Obs.Counter("ingest_spill_errors")
 	}
 	w0 := make(chan struct{})
 	i.watch.Store(&w0)
@@ -195,14 +252,46 @@ func (i *Index) Ingest(p microblog.Post) microblog.TweetID {
 
 // IngestBatch ingests posts in order and returns the global id of the
 // first one. The batch's ids are contiguous only with a single writer;
-// concurrent ingesters interleave their posts.
+// concurrent ingesters interleave their batches (never the posts
+// inside one). The whole batch is appended under one lock acquisition
+// and published with one snapshot swap — sealing mid-batch as the
+// threshold demands — so a K-post batch advances the epoch by exactly
+// 1 instead of K: one serve-cache invalidation, one watcher wakeup,
+// regardless of batch size.
 func (i *Index) IngestBatch(posts []microblog.Post) microblog.TweetID {
 	if len(posts) == 0 {
 		return -1
 	}
-	first := i.Ingest(posts[0])
-	for _, p := range posts[1:] {
-		i.Ingest(p)
+	var start time.Time
+	if i.obsIngestNS != nil {
+		start = time.Now()
+	}
+	// Render (truncate + tokenize) outside the lock; only the appends
+	// and seals run inside it.
+	tws := make([]microblog.Tweet, len(posts))
+	for j := range posts {
+		tws[j] = microblog.MakeTweet(posts[j])
+	}
+	i.mu.Lock()
+	first := i.activeStart + microblog.TweetID(len(i.active))
+	sealedNow := false
+	for _, tw := range tws {
+		tw.ID = microblog.TweetID(len(i.active))
+		i.active = append(i.active, tw)
+		i.ingested++
+		if len(i.active) >= i.cfg.SealThreshold {
+			i.sealLocked()
+			sealedNow = true
+		}
+	}
+	i.publishLocked()
+	i.mu.Unlock()
+	if sealedNow {
+		i.kickCompactor()
+	}
+	if i.obsIngestNS != nil {
+		i.obsIngestNS.Observe(time.Since(start).Nanoseconds())
+		i.obsPosts.Add(int64(len(posts)))
 	}
 	return first
 }
@@ -253,13 +342,36 @@ func (i *Index) publishLocked() {
 	i.epoch++
 	segs := make([]*segment, len(i.sealed))
 	copy(segs, i.sealed)
-	i.snap.Store(&Snapshot{
+	snap := &Snapshot{
 		epoch:     i.epoch,
 		base:      i.base,
 		segs:      segs,
 		tail:      i.active[:len(i.active):len(i.active)],
 		tailStart: i.activeStart,
-	})
+	}
+	// Pin the disk tier: the snapshot takes one reference per disk
+	// segment, released by a GC cleanup when the snapshot is retired.
+	// A compaction dropping the segment from the layout only releases
+	// the layout's own reference, so a reader on this snapshot can
+	// never see its map pulled out from under it.
+	nDisk := 0
+	for _, sg := range segs {
+		if sg.disk != nil {
+			nDisk++
+		}
+	}
+	if nDisk > 0 {
+		disks := make([]*diskseg.Segment, 0, nDisk)
+		for _, sg := range segs {
+			if sg.disk != nil {
+				sg.disk.Retain()
+				disks = append(disks, sg.disk)
+			}
+		}
+		runtime.AddCleanup(snap, releaseDiskRefs, disks)
+	}
+	i.obsDiskSegments.Set(int64(nDisk))
+	i.snap.Store(snap)
 	// Wake watchers only after the new snapshot is visible, and replace
 	// the channel before closing it so a watcher that re-Watches
 	// immediately gets the next generation, not a closed channel. The
@@ -292,17 +404,26 @@ func (i *Index) compactLoop() {
 		case <-i.done:
 			return
 		case <-i.compactReq:
-			for i.compactOnce() {
+			for i.compactOnce() || i.spillOnce() {
 			}
 		}
 	}
 }
 
+// releaseDiskRefs is the snapshot-retirement cleanup (a top-level
+// function so the GC cleanup captures only the segment list).
+func releaseDiskRefs(disks []*diskseg.Segment) {
+	for _, d := range disks {
+		d.Release()
+	}
+}
+
 // tier buckets a segment size into a size class: segments of the same
 // tier are candidates for merging, which gives LSM-style geometric
-// growth and O(n log n) total compaction work.
+// growth and O(n log n) total compaction work. Both storage tiers
+// participate — merging two disk segments is a disk-format rewrite.
 func (i *Index) tier(seg *segment) int {
-	return bits.Len(uint(seg.corpus.NumTweets() / i.cfg.SealThreshold))
+	return bits.Len(uint(seg.numTweets() / i.cfg.SealThreshold))
 }
 
 // pickRunLocked finds the first adjacent run of CompactFanIn
@@ -341,38 +462,72 @@ func (i *Index) compactOnce() bool {
 
 	n := 0
 	for _, sg := range run {
-		n += sg.corpus.NumTweets()
+		n += sg.numTweets()
 	}
 	all := make([]microblog.Tweet, 0, n)
 	for _, sg := range run {
-		all = append(all, sg.corpus.Tweets()...)
+		all = append(all, sg.tweets()...)
 	}
-	merged := &segment{start: run[0].start, corpus: microblog.FromTweets(i.w, all)}
+	mergedCorpus := microblog.FromTweets(i.w, all)
+	merged := &segment{start: run[0].start, corpus: mergedCorpus}
+	// A merge whose result crosses the spill threshold goes straight to
+	// the disk tier — compaction is the disk format's rewrite path. A
+	// faulted spill falls back to the in-heap merge, results unchanged.
+	if i.spillEnabled() && n >= i.cfg.SpillThreshold {
+		if disk, err := i.writeSpill(mergedCorpus); err == nil {
+			merged = &segment{start: run[0].start, disk: disk}
+		} else {
+			merged.noSpill = true
+			i.mu.Lock()
+			i.spillErrors++
+			i.mu.Unlock()
+			i.obsSpillErrors.Inc()
+		}
+	}
 
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	if a+len(run) > len(i.sealed) {
-		return true // layout changed under us; re-scan
-	}
-	for j, sg := range run {
-		if i.sealed[a+j] != sg {
-			return true // a concurrent compaction won; re-scan
+	abort := a+len(run) > len(i.sealed)
+	if !abort {
+		for j, sg := range run {
+			if i.sealed[a+j] != sg {
+				abort = true // a concurrent compaction won; re-scan
+				break
+			}
 		}
+	}
+	if abort {
+		if merged.disk != nil {
+			merged.disk.Release() // unreferenced rewrite; file goes too
+		}
+		return true
 	}
 	i.sealed = append(i.sealed[:a:a], append([]*segment{merged}, i.sealed[a+len(run):]...)...)
 	i.compactions++
 	i.obsCompactions.Inc()
+	if merged.disk != nil {
+		i.spills++
+		i.obsSpills.Inc()
+	}
 	i.publishLocked()
+	// Only now — with the new layout published and pinned by its
+	// snapshot — drop the layout references of the replaced segments.
+	// Older snapshots still holding them keep their maps alive.
+	for _, sg := range run {
+		sg.releaseLayoutRef()
+	}
 	return true
 }
 
-// Quiesce synchronously drains every eligible compaction. Afterwards —
-// absent concurrent ingest — the segment layout is stable, which the
+// Quiesce synchronously drains every eligible compaction and — when
+// the disk tier is configured — every eligible spill. Afterwards,
+// absent concurrent ingest, the segment layout is stable and every
+// segment past the spill threshold lives on disk, which the
 // equivalence tests rely on. (A concurrent background merge may still
 // publish afterwards; merged segments index identical content, so
 // query results are unaffected.)
 func (i *Index) Quiesce() {
-	for i.compactOnce() {
+	for i.compactOnce() || i.spillOnce() {
 	}
 }
 
@@ -392,25 +547,39 @@ type IndexStats struct {
 	NumTweets int
 	// Ingested counts live posts accepted.
 	Ingested int64
-	// Segments is the current sealed-segment count; ActiveLen the
-	// unsealed tail length.
-	Segments  int
-	ActiveLen int
-	// Seals and Compactions count background structural events.
-	Seals, Compactions int64
+	// Segments is the current sealed-segment count; DiskSegments how
+	// many of those live in the disk tier; ActiveLen the unsealed tail
+	// length.
+	Segments     int
+	DiskSegments int
+	ActiveLen    int
+	// Seals and Compactions count background structural events; Spills
+	// counts segments rewritten to the disk tier and SpillErrors the
+	// rewrites that faulted (the segment stayed in heap).
+	Seals, Compactions  int64
+	Spills, SpillErrors int64
 }
 
 // Stats snapshots the writer-side counters.
 func (i *Index) Stats() IndexStats {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	nDisk := 0
+	for _, sg := range i.sealed {
+		if sg.disk != nil {
+			nDisk++
+		}
+	}
 	return IndexStats{
-		Epoch:       i.epoch,
-		NumTweets:   int(i.activeStart) + len(i.active),
-		Ingested:    i.ingested,
-		Segments:    len(i.sealed),
-		ActiveLen:   len(i.active),
-		Seals:       i.seals,
-		Compactions: i.compactions,
+		Epoch:        i.epoch,
+		NumTweets:    int(i.activeStart) + len(i.active),
+		Ingested:     i.ingested,
+		Segments:     len(i.sealed),
+		DiskSegments: nDisk,
+		ActiveLen:    len(i.active),
+		Seals:        i.seals,
+		Compactions:  i.compactions,
+		Spills:       i.spills,
+		SpillErrors:  i.spillErrors,
 	}
 }

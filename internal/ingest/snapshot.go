@@ -65,7 +65,7 @@ func (s *Snapshot) Tweet(id microblog.TweetID) *microblog.Tweet {
 	// Find the last segment starting at or before id.
 	n := sort.Search(len(s.segs), func(j int) bool { return s.segs[j].start > id })
 	sg := s.segs[n-1]
-	return sg.corpus.Tweet(id - sg.start)
+	return sg.tweet(id - sg.start)
 }
 
 // ensureTail builds the tail's term index and per-user deltas once.
@@ -103,7 +103,7 @@ func (s *Snapshot) ensureTail() {
 func (s *Snapshot) NumTweetsBy(u world.UserID) int {
 	n := s.base.NumTweetsBy(u)
 	for _, sg := range s.segs {
-		n += sg.corpus.NumTweetsBy(u)
+		n += sg.numTweetsBy(u)
 	}
 	if len(s.tail) > 0 {
 		s.ensureTail()
@@ -116,7 +116,7 @@ func (s *Snapshot) NumTweetsBy(u world.UserID) int {
 func (s *Snapshot) NumMentionsOf(u world.UserID) int {
 	n := s.base.NumMentionsOf(u)
 	for _, sg := range s.segs {
-		n += sg.corpus.NumMentionsOf(u)
+		n += sg.numMentionsOf(u)
 	}
 	if len(s.tail) > 0 {
 		s.ensureTail()
@@ -130,7 +130,7 @@ func (s *Snapshot) NumMentionsOf(u world.UserID) int {
 func (s *Snapshot) NumRetweetsOf(u world.UserID) int {
 	n := s.base.NumRetweetsOf(u)
 	for _, sg := range s.segs {
-		n += sg.corpus.NumRetweetsOf(u)
+		n += sg.numRetweetsOf(u)
 	}
 	if len(s.tail) > 0 {
 		s.ensureTail()
@@ -161,7 +161,7 @@ func (s *Snapshot) Match(query string) []microblog.TweetID {
 func (s *Snapshot) MatchAppendScratch(query string, dst, local []microblog.TweetID) (out, localOut []microblog.TweetID) {
 	dst = s.base.MatchAppend(query, dst)
 	for _, sg := range s.segs {
-		local = sg.corpus.MatchAppend(query, local)
+		local = sg.matchAppend(query, local)
 		for _, id := range local {
 			dst = append(dst, id+sg.start)
 		}

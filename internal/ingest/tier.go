@@ -1,0 +1,192 @@
+// The storage tier of the streaming index. A sealed segment lives in
+// exactly one of two tiers: in-heap (corpus-backed, the only tier
+// before PR 10) or on-disk (an mmap-backed diskseg.Segment in the
+// compact compressed format). The tier methods below are the single
+// seam the snapshot read path and the compactor go through, so neither
+// ever branches on tier anywhere else — which is what keeps the
+// equivalence spine one property: a quiesced index ranks bit-identical
+// to a cold rebuild regardless of where its segments live.
+//
+// Tiering policy. When Config.SpillDir is set, the background
+// compactor rewrites any in-heap sealed segment holding at least
+// Config.SpillThreshold posts into the on-disk format (spillOnce), and
+// every compaction merge whose result crosses the same threshold
+// writes its output directly to disk — compaction becomes a
+// disk-format rewrite, and a long-running index converges to a handful
+// of large cold segments on disk plus small hot ones in heap.
+//
+// Pinning. Disk segments are refcounted (see diskseg): the live layout
+// holds one reference, and every published snapshot that includes the
+// segment takes another, released by a GC cleanup when the snapshot is
+// retired. A compaction that drops a disk segment from the layout only
+// releases the layout's reference — readers still running against
+// older snapshots keep the map (and the file) alive, and the file is
+// deleted when the last snapshot lets go. A spill that fails (disk
+// full, I/O fault) marks the segment noSpill and leaves it in heap:
+// degraded capacity, never a wrong ranking.
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/diskseg"
+	"repro/internal/microblog"
+	"repro/internal/world"
+)
+
+// numTweets returns the segment's post count regardless of tier.
+func (sg *segment) numTweets() int {
+	if sg.disk != nil {
+		return sg.disk.NumTweets()
+	}
+	return sg.corpus.NumTweets()
+}
+
+// matchAppend runs the zero-copy matcher of the segment's tier.
+func (sg *segment) matchAppend(query string, buf []microblog.TweetID) []microblog.TweetID {
+	if sg.disk != nil {
+		return sg.disk.MatchAppend(query, buf)
+	}
+	return sg.corpus.MatchAppend(query, buf)
+}
+
+// tweet returns the post with the given segment-local id.
+func (sg *segment) tweet(id microblog.TweetID) *microblog.Tweet {
+	if sg.disk != nil {
+		return sg.disk.Tweet(id)
+	}
+	return sg.corpus.Tweet(id)
+}
+
+// numTweetsBy returns the segment's authored-post count for one user.
+func (sg *segment) numTweetsBy(u world.UserID) int {
+	if sg.disk != nil {
+		return sg.disk.NumTweetsBy(u)
+	}
+	return sg.corpus.NumTweetsBy(u)
+}
+
+// numMentionsOf returns the segment's mentions-received count.
+func (sg *segment) numMentionsOf(u world.UserID) int {
+	if sg.disk != nil {
+		return sg.disk.NumMentionsOf(u)
+	}
+	return sg.corpus.NumMentionsOf(u)
+}
+
+// numRetweetsOf returns the segment's retweets-received count.
+func (sg *segment) numRetweetsOf(u world.UserID) int {
+	if sg.disk != nil {
+		return sg.disk.NumRetweetsOf(u)
+	}
+	return sg.corpus.NumRetweetsOf(u)
+}
+
+// tweets materializes the segment's posts in id order (compaction).
+func (sg *segment) tweets() []microblog.Tweet {
+	if sg.disk != nil {
+		return sg.disk.Tweets()
+	}
+	return sg.corpus.Tweets()
+}
+
+// releaseLayoutRef drops the live layout's reference when the segment
+// leaves it. In-heap segments are plain garbage; disk segments may
+// stay mapped for as long as older snapshots pin them.
+func (sg *segment) releaseLayoutRef() {
+	if sg.disk != nil {
+		sg.disk.Release()
+	}
+}
+
+// spillEnabled reports whether the disk tier is configured.
+func (i *Index) spillEnabled() bool {
+	return i.cfg.SpillDir != "" && i.cfg.SpillThreshold > 0
+}
+
+// writeSpill rewrites one immutable corpus into a fresh on-disk
+// segment and opens it. The file is named by a monotonic sequence so a
+// merged segment never collides with the (still pinned) segments it
+// replaces; it is deleted when the last reference releases it.
+func (i *Index) writeSpill(c *microblog.Corpus) (*diskseg.Segment, error) {
+	i.mu.Lock()
+	i.spillSeq++
+	seq := i.spillSeq
+	i.mu.Unlock()
+	path := filepath.Join(i.cfg.SpillDir, fmt.Sprintf("seg-%06d-%d.esg", seq, c.NumTweets()))
+	if err := diskseg.Write(path, c); err != nil {
+		return nil, err
+	}
+	disk, err := diskseg.Open(path, diskseg.Options{
+		IO:         i.cfg.SpillIO,
+		BlockCache: i.cfg.SpillBlockCache,
+		Obs:        i.cfg.Obs,
+	})
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	disk.RemoveOnRelease()
+	return disk, nil
+}
+
+// spillOnce rewrites the first eligible in-heap sealed segment to the
+// disk tier and publishes the new layout. It reports whether it should
+// be called again (it made progress, hit a fault it recorded, or lost
+// a race and must re-scan). The expensive rewrite runs outside the
+// lock — the segment is immutable — and the splice re-validates the
+// layout before applying, exactly like compactOnce.
+func (i *Index) spillOnce() bool {
+	if !i.spillEnabled() {
+		return false
+	}
+	i.mu.Lock()
+	var target *segment
+	for _, sg := range i.sealed {
+		if sg.disk == nil && !sg.noSpill && sg.corpus.NumTweets() >= i.cfg.SpillThreshold {
+			target = sg
+			break
+		}
+	}
+	i.mu.Unlock()
+	if target == nil {
+		return false
+	}
+
+	disk, err := i.writeSpill(target.corpus)
+
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	at := -1
+	for j, sg := range i.sealed {
+		if sg == target {
+			at = j
+			break
+		}
+	}
+	if at < 0 {
+		// A concurrent compaction absorbed the segment; this rewrite is
+		// garbage. Drop it (the file goes with the last reference).
+		if err == nil {
+			disk.Release()
+		}
+		return true
+	}
+	if err != nil {
+		// Spill faulted: stay in heap, never retry this segment (a
+		// compaction absorbing it will try again at the merge), count
+		// the fault. Results are unaffected — the heap tier keeps
+		// serving exactly what the disk tier would have.
+		target.noSpill = true
+		i.spillErrors++
+		i.obsSpillErrors.Inc()
+		return true
+	}
+	i.sealed[at] = &segment{start: target.start, disk: disk}
+	i.spills++
+	i.obsSpills.Inc()
+	i.publishLocked()
+	return true
+}
